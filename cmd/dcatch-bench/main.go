@@ -1,0 +1,50 @@
+// Command dcatch-bench regenerates the DCatch paper's evaluation tables
+// (Tables 3–9) against the mini subject systems.
+//
+// Usage:
+//
+//	dcatch-bench              # all tables
+//	dcatch-bench -table 5     # one table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcatch/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "render only this table (3-9); 0 = all")
+	flag.Parse()
+
+	var out string
+	var err error
+	switch *table {
+	case 0:
+		out, err = bench.All()
+	case 3:
+		out = bench.Table3()
+	case 4:
+		out, err = bench.Table4()
+	case 5:
+		out, err = bench.Table5()
+	case 6:
+		out, err = bench.Table6()
+	case 7:
+		out, err = bench.Table7()
+	case 8:
+		out, err = bench.Table8()
+	case 9:
+		out, err = bench.Table9()
+	default:
+		fmt.Fprintf(os.Stderr, "no table %d (the paper has Tables 3-9)\n", *table)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

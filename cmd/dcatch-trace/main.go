@@ -1,0 +1,66 @@
+// Command dcatch-trace inspects a binary DCatch trace (written by
+// dcatch -trace-out): prints the Table 7 record breakdown and optionally
+// dumps records.
+//
+// Usage:
+//
+//	dcatch-trace -stats t.bin
+//	dcatch-trace -dump -n 50 t.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcatch/internal/trace"
+)
+
+func main() {
+	dump := flag.Bool("dump", false, "dump records")
+	asJSON := flag.Bool("json", false, "emit the whole trace as JSON")
+	n := flag.Int("n", 0, "limit dumped records (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dcatch-trace [-dump] [-n N] <trace-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		if err := tr.EncodeJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	s := tr.Stats()
+	fmt.Printf("program %s: %d records\n", tr.Program, s.Total)
+	fmt.Printf("  mem=%d rpc=%d socket=%d event=%d thread=%d lock=%d zkpush=%d loopexit=%d\n",
+		s.Mem, s.RPC, s.Socket, s.Event, s.Thread, s.Lock, s.ZKPush, s.Other)
+	for q, c := range tr.QueueConsumers {
+		kind := "multi-consumer"
+		if c == 1 {
+			kind = "single-consumer"
+		}
+		fmt.Printf("  queue %s: %d consumer(s), %s\n", q, c, kind)
+	}
+	if *dump {
+		for i := range tr.Recs {
+			if *n > 0 && i >= *n {
+				fmt.Printf("  ... %d more\n", len(tr.Recs)-i)
+				break
+			}
+			fmt.Printf("  %s\n", &tr.Recs[i])
+		}
+	}
+}

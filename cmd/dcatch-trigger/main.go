@@ -1,0 +1,79 @@
+// Command dcatch-trigger is the triggering module as a tool: it validates a
+// benchmark's DCbug reports by exploring both orders of each candidate pair
+// (the default), or runs the stand-alone TCP message-controller server for
+// manually instrumented systems (paper §5.1).
+//
+// Usage:
+//
+//	dcatch-trigger -bench MR-3274 [-naive]
+//	dcatch-trigger -serve 127.0.0.1:9999 -first A -second B
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"dcatch/internal/bench"
+	"dcatch/internal/core"
+	"dcatch/internal/trigger"
+)
+
+func main() {
+	var (
+		benchID = flag.String("bench", "", "benchmark whose reports to validate")
+		naive   = flag.Bool("naive", false, "disable the placement analysis (§7.2 baseline)")
+		serve   = flag.String("serve", "", "run the TCP controller server on this address")
+		first   = flag.String("first", "A", "with -serve: party granted first")
+		second  = flag.String("second", "B", "with -serve: party granted second")
+	)
+	flag.Parse()
+
+	if *serve != "" {
+		runServer(*serve, *first, *second)
+		return
+	}
+
+	var found bool
+	for _, b := range bench.Benchmarks() {
+		if b.ID != *benchID {
+			continue
+		}
+		found = true
+		res, err := core.Detect(b.Workload, core.Options{Seed: b.Seed, MaxSteps: b.MaxSteps})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Summary())
+		vals := core.ValidateAll(res, core.TriggerOptions{MaxSteps: 200_000, Naive: *naive})
+		for _, v := range vals {
+			fmt.Printf("%s\n  %s\n", v.Pair.Describe(b.Workload.Program), v.Summary())
+			if kind := b.KnownKind(&v.Pair); kind != "" {
+				fmt.Printf("  ground truth: %s\n", kind)
+			}
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use dcatch -list)\n", *benchID)
+		os.Exit(2)
+	}
+}
+
+func runServer(addr, first, second string) {
+	srv, err := trigger.NewServer(addr, first, second)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("controller listening on %s; grant order: %s then %s\n", srv.Addr(), first, second)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+	fmt.Println("\nexplored order:")
+	for _, l := range srv.Log() {
+		fmt.Printf("  %s\n", l)
+	}
+}

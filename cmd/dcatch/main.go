@@ -1,0 +1,120 @@
+// Command dcatch runs DCatch bug detection on one of the built-in subject
+// benchmarks: it executes the workload under the tracer, performs HB trace
+// analysis, static pruning and loop-synchronization analysis, and prints the
+// resulting DCbug reports.
+//
+// Usage:
+//
+//	dcatch -list
+//	dcatch -bench MR-3274 [-seed 1] [-full] [-validate] [-trace-out t.bin]
+//	dcatch -bench HB-4729 -dump-structure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcatch/internal/bench"
+	"dcatch/internal/core"
+	"dcatch/internal/ir"
+	"dcatch/internal/subjects"
+	"dcatch/internal/trigger"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available benchmarks")
+		benchID   = flag.String("bench", "", "benchmark to analyze (see -list)")
+		seed      = flag.Int64("seed", 0, "override the benchmark's schedule seed")
+		full      = flag.Bool("full", false, "unselective memory tracing (Table 8 mode)")
+		validate  = flag.Bool("validate", false, "run the triggering module on every report")
+		naive     = flag.Bool("naive", false, "with -validate: naive request placement")
+		structure = flag.Bool("dump-structure", false, "print the cluster's concurrency structure (Fig. 4) and exit")
+		program   = flag.Bool("dump-program", false, "print the subject program listing and exit")
+		traceOut  = flag.String("trace-out", "", "write the binary trace to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.Benchmarks() {
+			fmt.Printf("%-8s %-16s %-30s %s\n", b.ID, b.System, b.WorkloadDesc, b.Symptom)
+		}
+		return
+	}
+	b := findBench(*benchID)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; try -list\n", *benchID)
+		os.Exit(2)
+	}
+	if *structure {
+		fmt.Print(b.Workload.StructureDump())
+		return
+	}
+	if *program {
+		fmt.Print(ir.PrintProgram(b.Workload.Program))
+		return
+	}
+
+	opts := core.Options{Seed: b.Seed, MaxSteps: b.MaxSteps, FullTrace: *full}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	res, err := core.Detect(b.Workload, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Summary())
+	if res.OOM {
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(res.Final.Format(b.Workload.Program))
+	for i := range res.Final.Pairs {
+		if kind := b.KnownKind(&res.Final.Pairs[i]); kind != "" {
+			fmt.Printf("  [%d] ground truth: %s\n", i, kind)
+		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := res.Trace.EncodeTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\ntrace written to %s (%d records)\n", *traceOut, len(res.Trace.Recs))
+	}
+
+	if *validate {
+		fmt.Println("\ntriggering module:")
+		vals := core.ValidateAll(res, core.TriggerOptions{MaxSteps: 200_000, Naive: *naive})
+		harmful := 0
+		for _, v := range vals {
+			fmt.Printf("  %s\n", v.Summary())
+			for i, p := range v.Placement {
+				if p.Moved != "" {
+					fmt.Printf("    placement[%d]: %s\n", i, p.Moved)
+				}
+			}
+			if v.Verdict == trigger.VerdictHarmful {
+				harmful++
+			}
+		}
+		fmt.Printf("%d/%d reports confirmed harmful\n", harmful, len(vals))
+	}
+}
+
+func findBench(id string) *subjects.Benchmark {
+	for _, b := range bench.Benchmarks() {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}

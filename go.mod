@@ -1,0 +1,3 @@
+module dcatch
+
+go 1.24

@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"dcatch/internal/ir"
+)
+
+// HasImpact estimates whether the access at static ID s, reached through the
+// given callstack (call-site static IDs, root first; may be nil), can affect
+// a failure instruction locally or on another node (paper §4.2). It is the
+// keep-condition of static pruning: a candidate pair survives if either side
+// has impact.
+func (a *Analysis) HasImpact(static int32, stack []int32) bool {
+	st := a.Prog.Stmt(int(static))
+	if st == nil {
+		return true // unknown statement: be conservative
+	}
+	fi := a.funcs[st.Meta().Fn]
+	if fi == nil {
+		return true
+	}
+
+	// A failure instruction is trivially impactful (e.g. a must-succeed
+	// znode delete that crashes on the unexpected interleaving, HB-4729).
+	if directFailure(st) {
+		return true
+	}
+
+	taint, hvar := a.seedFor(fi, st)
+
+	// (1) Intra-procedural control/data dependence on a failure
+	// instruction.
+	if failureDependsOn(fi, taint) {
+		return true
+	}
+
+	// (2) One-level callee impact: tainted arguments or the written heap
+	// variable flowing into a callee's failure instructions.
+	if a.calleeImpact(fi, taint, hvar) {
+		return true
+	}
+
+	// (3) One-level caller impact through the return value or the heap,
+	// following the reported callstack.
+	if caller, dst := a.callerSite(fi, stack); caller != nil {
+		if returnTaint(fi, taint) && dst != "" {
+			if failureDependsOn(caller, forwardClosure(caller, map[string]bool{dst: true})) {
+				return true
+			}
+		}
+		if hvar != "" && failureDependsOn(caller, forwardClosure(caller, heapSeed(caller, hvar))) {
+			return true
+		}
+	}
+
+	// (4) Distributed impact: if an RPC function sits at the root of the
+	// callstack and its return value depends on the access, check failure
+	// dependence on the RPC's return value in every calling function on
+	// other nodes (§4.2 "Distributed impact analysis").
+	if rpcRoot, retDep := a.rpcReturnDependence(fi, st, taint, stack); rpcRoot != "" && retDep {
+		for _, site := range a.rpcCallers[rpcRoot] {
+			rc := site.call.(*ir.RPCCall)
+			if rc.Dst == "" {
+				continue
+			}
+			if failureDependsOn(site.fi, forwardClosure(site.fi, map[string]bool{rc.Dst: true})) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// seedFor computes the initial taint of an access statement and, for heap
+// operations, the heap variable involved.
+func (a *Analysis) seedFor(fi *funcInfo, st ir.Stmt) (map[string]bool, string) {
+	switch s := st.(type) {
+	case *ir.Read:
+		return forwardClosure(fi, map[string]bool{s.Dst: true}), s.Var
+	case *ir.Write:
+		// A racing write matters through whoever reads the variable:
+		// seed with the destinations of same-function reads; callers
+		// and callees are covered by the heap checks.
+		return forwardClosure(fi, heapSeed(fi, s.Var)), s.Var
+	case *ir.ZKGet:
+		seed := map[string]bool{}
+		if s.Dst != "" {
+			seed[s.Dst] = true
+		}
+		if s.Ok != "" {
+			seed[s.Ok] = true
+		}
+		return forwardClosure(fi, seed), ""
+	case *ir.ZKCreate:
+		return a.okSeed(fi, s.Ok), ""
+	case *ir.ZKSet:
+		return a.okSeed(fi, s.Ok), ""
+	case *ir.ZKDelete:
+		return a.okSeed(fi, s.Ok), ""
+	default:
+		return map[string]bool{}, ""
+	}
+}
+
+func (a *Analysis) okSeed(fi *funcInfo, ok string) map[string]bool {
+	if ok == "" {
+		return map[string]bool{}
+	}
+	return forwardClosure(fi, map[string]bool{ok: true})
+}
+
+// callerSite resolves the one-level caller of fi along the callstack,
+// returning the caller's funcInfo and the call site's destination local.
+func (a *Analysis) callerSite(fi *funcInfo, stack []int32) (*funcInfo, string) {
+	if len(stack) == 0 {
+		return nil, ""
+	}
+	site := a.Prog.Stmt(int(stack[len(stack)-1]))
+	if site == nil {
+		return nil, ""
+	}
+	caller := a.funcs[site.Meta().Fn]
+	if c, ok := site.(*ir.Call); ok && c.Fn == fi.fn.Name {
+		return caller, c.Dst
+	}
+	return caller, ""
+}
+
+// calleeImpact checks one-level callee failure dependence through arguments
+// and through the heap variable hvar.
+func (a *Analysis) calleeImpact(fi *funcInfo, taint map[string]bool, hvar string) bool {
+	for _, c := range fi.calls {
+		callee := a.funcs[c.Fn]
+		if callee == nil {
+			continue
+		}
+		seed := map[string]bool{}
+		for i, arg := range c.Args {
+			if i >= len(callee.fn.Params) {
+				break
+			}
+			if intersects(ir.ExprLocals(arg), taint) {
+				seed[callee.fn.Params[i]] = true
+			}
+		}
+		if hvar != "" {
+			for k := range heapSeed(callee, hvar) {
+				seed[k] = true
+			}
+		}
+		if len(seed) > 0 && failureDependsOn(callee, forwardClosure(callee, seed)) {
+			return true
+		}
+	}
+	return false
+}
+
+// rpcReturnDependence walks the callstack from the access up to its root
+// function; if the root is an RPC function whose return value depends on the
+// access, it returns that RPC's name.
+func (a *Analysis) rpcReturnDependence(fi *funcInfo, st ir.Stmt, taint map[string]bool, stack []int32) (string, bool) {
+	cur := fi
+	curTaint := taint
+	// Walk from the innermost call site to the root.
+	for i := len(stack) - 1; i >= 0; i-- {
+		if !returnTaint(cur, curTaint) {
+			return "", false
+		}
+		site := a.Prog.Stmt(int(stack[i]))
+		if site == nil {
+			return "", false
+		}
+		call, ok := site.(*ir.Call)
+		if !ok || call.Fn != cur.fn.Name || call.Dst == "" {
+			return "", false
+		}
+		caller := a.funcs[site.Meta().Fn]
+		if caller == nil {
+			return "", false
+		}
+		cur = caller
+		curTaint = forwardClosure(cur, map[string]bool{call.Dst: true})
+	}
+	if cur.fn.Kind != ir.FuncRPC {
+		return "", false
+	}
+	if !returnTaint(cur, curTaint) {
+		return "", false
+	}
+	return cur.fn.Name, true
+}
+
+// --- trace scope (§3.1.1) ----------------------------------------------------
+
+// TraceScope returns the set of functions whose memory accesses the tracer
+// records: RPC functions, event and message handlers, functions performing
+// socket sends, and their transitive callees via regular calls.
+func (a *Analysis) TraceScope() map[string]bool {
+	scope := map[string]bool{}
+	var queue []string
+	for _, name := range a.Prog.FuncNames() {
+		fi := a.funcs[name]
+		if fi.fn.Kind != ir.FuncRegular || fi.hasSend {
+			scope[name] = true
+			queue = append(queue, name)
+		}
+	}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		for _, c := range a.funcs[name].calls {
+			if !scope[c.Fn] {
+				scope[c.Fn] = true
+				queue = append(queue, c.Fn)
+			}
+		}
+	}
+	return scope
+}
+
+// --- loop-synchronization candidates (§3.2.1) --------------------------------
+
+// LoopSyncCandidates identifies poll loops and the heap reads that can feed
+// their exit conditions: (a) reads inside the loop body whose value flows to
+// the loop condition (local while-loop custom synchronization), and (b)
+// reads inside RPC functions called from the loop whose value flows through
+// the RPC return into the condition (distributed pull-based synchronization).
+// The result maps each loop's While static ID to the candidate Read static
+// IDs, and feeds both the focused rerun (rt.Options.PullLoops/PullReads) and
+// Rule-Mpull (hb.Config.LoopReads).
+func (a *Analysis) LoopSyncCandidates() map[int32][]int32 {
+	out := map[int32][]int32{}
+	for _, name := range a.Prog.FuncNames() {
+		fi := a.funcs[name]
+		for _, st := range fi.all {
+			l, ok := st.(*ir.While)
+			if !ok {
+				continue
+			}
+			lid := l.Meta().ID
+			// Locals feeding the exit condition: the loop condition
+			// itself plus conditions controlling Breaks inside it.
+			seed := usesOf(l)
+			for _, st2 := range fi.all {
+				if _, isBrk := st2.(*ir.Break); !isBrk {
+					continue
+				}
+				if containsLoop(fi.loops[st2.Meta().ID], l) {
+					seed = union(seed, fi.ctrl[st2.Meta().ID])
+				}
+			}
+			rev := reverseClosure(fi, seed)
+
+			var reads []int32
+			for _, r := range fi.reads {
+				if containsLoop(fi.loops[r.Meta().ID], l) && rev[r.Dst] {
+					reads = append(reads, int32(r.Meta().ID))
+				}
+			}
+			for _, rc := range fi.rpcs {
+				if rc.Dst == "" || !containsLoop(fi.loops[rc.Meta().ID], l) || !rev[rc.Dst] {
+					continue
+				}
+				callee := a.funcs[rc.Fn]
+				if callee == nil {
+					continue
+				}
+				retSeed := map[string]bool{}
+				for _, ret := range callee.returns {
+					retSeed = union(retSeed, usesOf(ret))
+					retSeed = union(retSeed, callee.ctrl[ret.Meta().ID])
+				}
+				crev := reverseClosure(callee, retSeed)
+				for _, r := range callee.reads {
+					if crev[r.Dst] {
+						reads = append(reads, int32(r.Meta().ID))
+					}
+				}
+			}
+			if len(reads) > 0 {
+				out[int32(lid)] = dedupInt32(reads)
+			}
+		}
+	}
+	return out
+}
+
+func containsLoop(loops []*ir.While, l *ir.While) bool {
+	for _, x := range loops {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupInt32(xs []int32) []int32 {
+	seen := map[int32]bool{}
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// PullProbe converts loop-sync candidates into the runtime's focused-run
+// probes.
+func PullProbe(cands map[int32][]int32) (loops map[int32]bool, reads map[int32]bool) {
+	loops = map[int32]bool{}
+	reads = map[int32]bool{}
+	for l, rs := range cands {
+		loops[l] = true
+		for _, r := range rs {
+			reads[r] = true
+		}
+	}
+	return loops, reads
+}

@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"dcatch/internal/detect"
+	"dcatch/internal/trace"
+)
+
+// Prune applies static pruning (paper §4): a DCbug candidate survives only
+// if at least one of its two accesses can impact a failure instruction. It
+// returns the surviving report and the number of pruned callstack pairs.
+func (a *Analysis) Prune(rep *detect.Report, tr *trace.Trace) (*detect.Report, int) {
+	kept := &detect.Report{}
+	pruned := 0
+	for i := range rep.Pairs {
+		p := rep.Pairs[i]
+		if a.pairHasImpact(&p, tr) {
+			kept.Pairs = append(kept.Pairs, p)
+		} else {
+			pruned++
+		}
+	}
+	return kept, pruned
+}
+
+func (a *Analysis) pairHasImpact(p *detect.Pair, tr *trace.Trace) bool {
+	return a.HasImpact(p.AStatic, stackOf(tr, p.ARec)) ||
+		a.HasImpact(p.BStatic, stackOf(tr, p.BRec))
+}
+
+func stackOf(tr *trace.Trace, rec int) []int32 {
+	if rec < 0 || rec >= len(tr.Recs) {
+		return nil
+	}
+	return tr.Recs[rec].Stack
+}

@@ -1,0 +1,230 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	s := New(130)
+	if s.Cap() != 130 {
+		t.Fatalf("Cap = %d, want 130", s.Cap())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Has(i) {
+			t.Fatalf("fresh set has bit %d", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("bit %d not set after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 7 {
+		t.Fatalf("Remove(64) failed: has=%v count=%d", s.Has(64), s.Count())
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d after double Add, want 1", s.Count())
+	}
+}
+
+func TestOr(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Add(1)
+	a.Add(99)
+	b.Add(2)
+	b.Add(99)
+	a.Or(b)
+	for _, i := range []int{1, 2, 99} {
+		if !a.Has(i) {
+			t.Errorf("union missing bit %d", i)
+		}
+	}
+	if a.Count() != 3 {
+		t.Errorf("union Count = %d, want 3", a.Count())
+	}
+	// Or with nil is a no-op.
+	a.Or(nil)
+	if a.Count() != 3 {
+		t.Errorf("Or(nil) changed set")
+	}
+}
+
+func TestOrCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or with mismatched capacity did not panic")
+		}
+	}()
+	New(10).Or(New(20))
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for _, i := range []int{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) on cap-10 set did not panic", i)
+				}
+			}()
+			New(10).Add(i)
+		}()
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.Add(5)
+	b := a.Clone()
+	b.Add(6)
+	if a.Has(6) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !b.Has(5) {
+		t.Fatal("Clone lost bit 5")
+	}
+}
+
+func TestClearAndEqual(t *testing.T) {
+	a := New(77)
+	a.Add(0)
+	a.Add(76)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not Equal to original")
+	}
+	a.Clear()
+	if a.Count() != 0 {
+		t.Fatalf("Count = %d after Clear", a.Count())
+	}
+	if a.Equal(b) {
+		t.Fatal("cleared set Equal to non-empty set")
+	}
+	if a.Equal(New(76)) {
+		t.Fatal("sets of different capacity reported Equal")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(200)
+	want := []int{0, 7, 63, 64, 100, 199}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Add(2)
+	s.Add(8)
+	if got := s.String(); got != "{2 8}" {
+		t.Fatalf("String = %q, want {2 8}", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Fatalf("empty String = %q, want {}", got)
+	}
+}
+
+// Property: a Set behaves like a map[int]bool under a random sequence of
+// Add/Remove operations.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []int16, seed int64) bool {
+		const n = 300
+		s := New(n)
+		ref := map[int]bool{}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			i := int(uint16(op)) % n
+			if rng.Intn(2) == 0 {
+				s.Add(i)
+				ref[i] = true
+			} else {
+				s.Remove(i)
+				delete(ref, i)
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.Has(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Or is commutative and idempotent in effect.
+func TestQuickOrCommutative(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		const n = 256
+		a1, b1 := New(n), New(n)
+		a2, b2 := New(n), New(n)
+		for _, x := range xs {
+			a1.Add(int(x))
+			a2.Add(int(x))
+		}
+		for _, y := range ys {
+			b1.Add(int(y))
+			b2.Add(int(y))
+		}
+		a1.Or(b1) // a ∪ b
+		b2.Or(a2) // b ∪ a
+		if !a1.Equal(b2) {
+			return false
+		}
+		u := a1.Clone()
+		u.Or(b1)
+		return u.Equal(a1) // (a∪b)∪b == a∪b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := New(1).Bytes(); got != 8 {
+		t.Errorf("Bytes(cap 1) = %d, want 8", got)
+	}
+	if got := New(65).Bytes(); got != 16 {
+		t.Errorf("Bytes(cap 65) = %d, want 16", got)
+	}
+	if got := New(0).Bytes(); got != 0 {
+		t.Errorf("Bytes(cap 0) = %d, want 0", got)
+	}
+}
+
+func BenchmarkOr4096(b *testing.B) {
+	x, y := New(4096), New(4096)
+	for i := 0; i < 4096; i += 3 {
+		y.Add(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+	}
+}

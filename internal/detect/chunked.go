@@ -1,0 +1,37 @@
+package detect
+
+import "dcatch/internal/hb"
+
+// FindChunked runs detection over a chunked HB analysis (hb.BuildChunked)
+// and merges the per-window reports: the memory-bounded fallback for traces
+// whose full reachability closure does not fit (paper §7.2). Candidate
+// pairs spanning more than one window are missed — the approach's
+// documented trade-off — but a pair concurrent within some window is a true
+// candidate of the full graph as well.
+func FindChunked(chunks []hb.Chunk, opts Options) *Report {
+	merged := map[string]*Pair{}
+	var order []string
+	for _, ch := range chunks {
+		rep := Find(ch.Graph, opts)
+		for i := range rep.Pairs {
+			p := rep.Pairs[i]
+			// Rebase representative record indices onto the full
+			// trace.
+			p.ARec += ch.Start
+			p.BRec += ch.Start
+			key := p.AStack + "||" + p.BStack
+			if ex, ok := merged[key]; ok {
+				ex.Dynamic += p.Dynamic
+			} else {
+				pc := p
+				merged[key] = &pc
+				order = append(order, key)
+			}
+		}
+	}
+	out := &Report{}
+	for _, k := range order {
+		out.Pairs = append(out.Pairs, *merged[k])
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+// Package detect enumerates DCbug candidates from an HB graph: every pair
+// of memory accesses that touch the same location with at least one write
+// and no happens-before order between them (paper §3.2). Candidates are
+// deduplicated both by static-instruction pair and by callstack pair, the
+// two counting granularities of the paper's Tables 4 and 5.
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dcatch/internal/hb"
+	"dcatch/internal/ir"
+	"dcatch/internal/trace"
+)
+
+// Pair is one DCbug candidate at callstack-pair granularity. A and B are
+// canonically ordered (A.StackKey <= B.StackKey) so a pair has a single
+// identity regardless of which access was seen first.
+type Pair struct {
+	Obj string // memory location (one representative; races are per-object)
+
+	AStatic, BStatic int32
+	AStack, BStack   string
+	ARec, BRec       int // representative record indices into the trace
+
+	// Dynamic is the number of dynamic record pairs folded into this
+	// callstack pair.
+	Dynamic int
+}
+
+// StaticKey returns the unordered static-instruction pair identity.
+func (p *Pair) StaticKey() string {
+	a, b := p.AStatic, p.BStatic
+	if a > b {
+		a, b = b, a
+	}
+	return fmt.Sprintf("%d|%d", a, b)
+}
+
+// Describe renders the pair with program positions.
+func (p *Pair) Describe(prog *ir.Program) string {
+	return fmt.Sprintf("%s: %s <-> %s", p.Obj, describeSide(prog, p.AStatic, p.AStack), describeSide(prog, p.BStatic, p.BStack))
+}
+
+func describeSide(prog *ir.Program, static int32, stack string) string {
+	st := prog.Stmt(int(static))
+	if st == nil {
+		return fmt.Sprintf("stmt#%d", static)
+	}
+	return fmt.Sprintf("%s (%s)", st.Meta().Pos, st)
+}
+
+// Report is the set of candidates found in one trace.
+type Report struct {
+	Pairs []Pair
+}
+
+// StaticCount returns the number of unique static-instruction pairs.
+func (r *Report) StaticCount() int {
+	set := map[string]bool{}
+	for i := range r.Pairs {
+		set[r.Pairs[i].StaticKey()] = true
+	}
+	return len(set)
+}
+
+// CallstackCount returns the number of unique callstack pairs.
+func (r *Report) CallstackCount() int { return len(r.Pairs) }
+
+// StaticKeys returns the sorted unique static pair keys.
+func (r *Report) StaticKeys() []string {
+	set := map[string]bool{}
+	for i := range r.Pairs {
+		set[r.Pairs[i].StaticKey()] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// HasStaticPair reports whether the report contains the unordered static
+// pair (a, b).
+func (r *Report) HasStaticPair(a, b int32) bool {
+	if a > b {
+		a, b = b, a
+	}
+	key := fmt.Sprintf("%d|%d", a, b)
+	for i := range r.Pairs {
+		if r.Pairs[i].StaticKey() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Options tunes detection.
+type Options struct {
+	// MaxGroup caps the records considered per memory location; locations
+	// touched more often are subsampled (keeping first and last accesses
+	// per context) to bound the quadratic pair scan. 0 means the default.
+	MaxGroup int
+
+	// SuppressPull removes candidates matching the pull-synchronization
+	// pairs the HB analysis discovered (the "LP" stage of Table 5).
+	SuppressPull bool
+}
+
+const defaultMaxGroup = 1500
+
+// Find enumerates concurrent conflicting access pairs.
+func Find(g *hb.Graph, opts Options) *Report {
+	maxGroup := opts.MaxGroup
+	if maxGroup <= 0 {
+		maxGroup = defaultMaxGroup
+	}
+	// Group memory accesses by location.
+	groups := map[string][]int{}
+	for i := range g.Tr.Recs {
+		r := &g.Tr.Recs[i]
+		if r.IsMem() {
+			groups[r.Obj] = append(groups[r.Obj], i)
+		}
+	}
+	pull := map[string]bool{}
+	if opts.SuppressPull {
+		for _, pp := range g.PullPairs {
+			a, b := pp.ReadStatic, pp.WriteStatic
+			if a > b {
+				a, b = b, a
+			}
+			pull[fmt.Sprintf("%d|%d", a, b)] = true
+		}
+	}
+
+	found := map[string]*Pair{}
+	objs := make([]string, 0, len(groups))
+	for o := range groups {
+		objs = append(objs, o)
+	}
+	sort.Strings(objs)
+	for _, obj := range objs {
+		idxs := groups[obj]
+		hasWrite := false
+		for _, i := range idxs {
+			if g.Tr.Recs[i].IsWrite() {
+				hasWrite = true
+				break
+			}
+		}
+		if !hasWrite || len(idxs) < 2 {
+			continue
+		}
+		if len(idxs) > maxGroup {
+			idxs = subsample(g.Tr, idxs, maxGroup)
+		}
+		for x := 0; x < len(idxs); x++ {
+			for y := x + 1; y < len(idxs); y++ {
+				i, j := idxs[x], idxs[y]
+				ri, rj := &g.Tr.Recs[i], &g.Tr.Recs[j]
+				if !ri.IsWrite() && !rj.IsWrite() {
+					continue
+				}
+				// Same program-order context: ordered by Pnreg/Preg.
+				if ri.Thread == rj.Thread && ri.Ctx == rj.Ctx {
+					continue
+				}
+				if !g.Concurrent(i, j) {
+					continue
+				}
+				p := makePair(obj, ri, rj, i, j)
+				if opts.SuppressPull && pull[p.StaticKey()] {
+					continue
+				}
+				key := p.AStack + "||" + p.BStack
+				if ex, ok := found[key]; ok {
+					ex.Dynamic++
+				} else {
+					pc := p
+					pc.Dynamic = 1
+					found[key] = &pc
+				}
+			}
+		}
+	}
+	rep := &Report{}
+	keys := make([]string, 0, len(found))
+	for k := range found {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rep.Pairs = append(rep.Pairs, *found[k])
+	}
+	return rep
+}
+
+func makePair(obj string, ri, rj *trace.Rec, i, j int) Pair {
+	a := side{static: ri.StaticID, stack: ri.StackKey(), rec: i}
+	b := side{static: rj.StaticID, stack: rj.StackKey(), rec: j}
+	if a.stack > b.stack || (a.stack == b.stack && a.static > b.static) {
+		a, b = b, a
+	}
+	return Pair{
+		Obj:     obj,
+		AStatic: a.static, BStatic: b.static,
+		AStack: a.stack, BStack: b.stack,
+		ARec: a.rec, BRec: b.rec,
+	}
+}
+
+type side struct {
+	static int32
+	stack  string
+	rec    int
+}
+
+// subsample keeps a bounded, deterministic selection of a hot location's
+// accesses: the first and last access of every (thread, ctx) context, then
+// pads evenly up to max.
+func subsample(tr *trace.Trace, idxs []int, max int) []int {
+	type ck struct {
+		th  int32
+		ctx int32
+	}
+	firstLast := map[ck][2]int{}
+	for _, i := range idxs {
+		r := &tr.Recs[i]
+		k := ck{r.Thread, r.Ctx}
+		fl, ok := firstLast[k]
+		if !ok {
+			firstLast[k] = [2]int{i, i}
+		} else {
+			fl[1] = i
+			firstLast[k] = fl
+		}
+	}
+	keep := map[int]bool{}
+	for _, fl := range firstLast {
+		keep[fl[0]] = true
+		keep[fl[1]] = true
+	}
+	if len(keep) < max {
+		stride := len(idxs)/(max-len(keep)) + 1
+		for x := 0; x < len(idxs); x += stride {
+			keep[idxs[x]] = true
+		}
+	}
+	out := make([]int, 0, len(keep))
+	for _, i := range idxs {
+		if keep[i] {
+			out = append(out, i)
+		}
+	}
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Format renders the report for CLI output.
+func (r *Report) Format(prog *ir.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d candidate(s) (%d static pairs, %d callstack pairs)\n",
+		len(r.Pairs), r.StaticCount(), r.CallstackCount())
+	for i := range r.Pairs {
+		fmt.Fprintf(&b, "  [%d] %s (x%d)\n", i, r.Pairs[i].Describe(prog), r.Pairs[i].Dynamic)
+	}
+	return b.String()
+}

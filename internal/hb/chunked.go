@@ -1,0 +1,93 @@
+package hb
+
+import (
+	"fmt"
+
+	"dcatch/internal/trace"
+)
+
+// Chunked trace analysis — the mitigation the paper sketches for traces
+// whose reachability closure exceeds memory (§7.2: "DCatch will need to
+// chunk the traces and conduct detection within each chunk, an approach
+// used by previous LCbug detection tools").
+//
+// The trace is split into windows of ChunkSize records with an overlap of
+// ChunkOverlap, and a full HB graph is built per window. Accesses that are
+// concurrent within some window are concurrent in the full graph too (a
+// window sees a subset of the HB edges, erring toward *more* concurrency),
+// so chunking introduces no false negatives within a window span — only
+// pairs farther apart than a window are missed, which is the documented
+// trade-off of the approach.
+
+// ChunkConfig configures chunked analysis.
+type ChunkConfig struct {
+	// Base is the per-window HB configuration; Base.MemBudget applies to
+	// each window's closure individually.
+	Base Config
+	// ChunkSize is the window length in records (required, > 0).
+	ChunkSize int
+	// ChunkOverlap is how many records consecutive windows share;
+	// defaults to ChunkSize/4.
+	ChunkOverlap int
+}
+
+// Chunk is one analyzed window of the trace.
+type Chunk struct {
+	// Start is the index of the window's first record in the full trace.
+	Start int
+	// Graph is the window's HB graph; its vertex i corresponds to full
+	// trace record Start+i.
+	Graph *Graph
+}
+
+// BuildChunked analyzes the trace window by window. Every window must fit
+// the per-window memory budget; window construction failures abort.
+func BuildChunked(tr *trace.Trace, cfg ChunkConfig) ([]Chunk, error) {
+	if cfg.ChunkSize <= 0 {
+		return nil, fmt.Errorf("hb: chunk size must be positive, got %d", cfg.ChunkSize)
+	}
+	overlap := cfg.ChunkOverlap
+	if overlap <= 0 {
+		overlap = cfg.ChunkSize / 4
+	}
+	if overlap >= cfg.ChunkSize {
+		overlap = cfg.ChunkSize - 1
+	}
+	stride := cfg.ChunkSize - overlap
+
+	var chunks []Chunk
+	n := len(tr.Recs)
+	for start := 0; ; start += stride {
+		end := start + cfg.ChunkSize
+		if end > n {
+			end = n
+		}
+		sub := &trace.Trace{
+			Program:        tr.Program,
+			Recs:           make([]trace.Rec, end-start),
+			QueueConsumers: tr.QueueConsumers,
+		}
+		copy(sub.Recs, tr.Recs[start:end])
+		g, err := Build(sub, cfg.Base)
+		if err != nil {
+			return nil, fmt.Errorf("hb: chunk [%d,%d): %w", start, end, err)
+		}
+		chunks = append(chunks, Chunk{Start: start, Graph: g})
+		if end >= n {
+			return chunks, nil
+		}
+	}
+}
+
+// ChunkedMemBytes reports the peak per-window closure footprint — the
+// memory high-water mark of the chunked analysis (windows are analyzed one
+// at a time).
+func ChunkedMemBytes(chunks []Chunk) int64 {
+	var peak int64
+	for _, c := range chunks {
+		if m := c.Graph.MemBytes(); m > peak {
+			peak = m
+		}
+	}
+	return peak
+}

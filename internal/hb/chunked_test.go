@@ -1,0 +1,88 @@
+package hb
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dcatch/internal/trace"
+)
+
+func TestBuildChunkedCoversTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := randomTrace(rng, 100)
+	chunks, err := BuildChunked(tr, ChunkConfig{ChunkSize: 30, ChunkOverlap: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 4 {
+		t.Fatalf("only %d chunks for 100 records", len(chunks))
+	}
+	// Windows must tile the trace with the configured stride and overlap.
+	for i, c := range chunks {
+		if i > 0 && c.Start != chunks[i-1].Start+20 {
+			t.Fatalf("chunk %d starts at %d, want stride 20", i, c.Start)
+		}
+		if c.Start+c.Graph.N() > len(tr.Recs) {
+			t.Fatalf("chunk %d overruns the trace", i)
+		}
+	}
+	last := chunks[len(chunks)-1]
+	if last.Start+last.Graph.N() != len(tr.Recs) {
+		t.Fatal("last chunk does not reach the end of the trace")
+	}
+	if ChunkedMemBytes(chunks) <= 0 {
+		t.Fatal("no memory accounting")
+	}
+}
+
+func TestChunkedSoundWithinWindow(t *testing.T) {
+	// Within a window, chunked HB must agree with the full graph for
+	// ordered pairs whose causal chain lies inside the window; and it
+	// never invents order the full graph lacks.
+	rng := rand.New(rand.NewSource(5))
+	tr := randomTrace(rng, 80)
+	full, err := Build(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := BuildChunked(tr, ChunkConfig{ChunkSize: 40, ChunkOverlap: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range chunks {
+		n := ch.Graph.N()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if ch.Graph.HappensBefore(i, j) && !full.HappensBefore(ch.Start+i, ch.Start+j) {
+					t.Fatalf("chunk invented order: window (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestChunkedFitsBudgetWhereFullCannot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := randomTrace(rng, 400)
+	// A budget the full closure cannot fit: 400 vertices need
+	// 400 * ceil(400/64)*8 = 22400 bytes.
+	budget := int64(6000)
+	if _, err := Build(tr, Config{MemBudget: budget}); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("full build should OOM, got %v", err)
+	}
+	chunks, err := BuildChunked(tr, ChunkConfig{Base: Config{MemBudget: budget}, ChunkSize: 60})
+	if err != nil {
+		t.Fatalf("chunked build failed under the same budget: %v", err)
+	}
+	if ChunkedMemBytes(chunks) > budget {
+		t.Fatalf("peak window footprint %d exceeds budget %d", ChunkedMemBytes(chunks), budget)
+	}
+}
+
+func TestChunkedRejectsBadConfig(t *testing.T) {
+	tr := &trace.Trace{QueueConsumers: map[string]int{}}
+	if _, err := BuildChunked(tr, ChunkConfig{}); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+}

@@ -1,0 +1,454 @@
+// Package hb implements the DCatch happens-before model (paper §2) and its
+// trace analysis (§3.2): it turns a run trace into a DAG whose edges are the
+// MTEP rules, then computes per-vertex reachability bit arrays so that
+// "are these two accesses concurrent?" is a constant-time lookup.
+//
+// Rules implemented (paper §2):
+//
+//	Rule-Mrpc : RPCCreate ⇒ RPCBegin, RPCEnd ⇒ RPCJoin
+//	Rule-Msoc : SockSend ⇒ SockRecv
+//	Rule-Mpush: ZKUpdate ⇒ ZKPushed (paired by zxid)
+//	Rule-Mpull: final status write ⇒ remote poll-loop exit (focused run)
+//	Rule-Tfork/Tjoin: ThreadCreate ⇒ ThreadBegin, ThreadEnd ⇒ ThreadJoin
+//	Rule-Eenq : EventCreate ⇒ EventBegin
+//	Rule-Eserial: on single-consumer queues, End(e1) ⇒ Begin(e2) whenever
+//	              Create(e1) ⇒ Create(e2), iterated to a fixed point
+//	Rule-Preg/Pnreg: program order within a context (whole thread for
+//	              regular threads; one handler instance otherwise)
+//
+// Config's Disable* switches reproduce the Table 9 rule ablation: dropping a
+// rule family both removes its ⇒ edges (false positives appear) and degrades
+// Rule-Pnreg to whole-thread Rule-Preg for the affected handler records
+// (false negatives appear), exactly as §7.4 describes.
+package hb
+
+import (
+	"errors"
+	"fmt"
+
+	"dcatch/internal/bitset"
+	"dcatch/internal/trace"
+	"dcatch/internal/vclock"
+)
+
+// ErrOutOfMemory is returned when the reachability bit arrays would exceed
+// Config.MemBudget — the paper's trace-analysis OOM on unselectively traced
+// runs (Table 8).
+var ErrOutOfMemory = errors.New("hb: reachability sets exceed memory budget")
+
+// Config controls graph construction.
+type Config struct {
+	// Rule ablation switches (Table 9).
+	DisableEvent  bool
+	DisableRPC    bool
+	DisableSocket bool
+	DisablePush   bool
+
+	// LoopReads maps a poll loop's While static ID to the Read static IDs
+	// that can feed its exit condition (computed by internal/analysis).
+	// Combined with the focused run's KLoopExit and WriterSeq records it
+	// yields Rule-Mpull edges and the pull-sync pair list.
+	LoopReads map[int32][]int32
+
+	// MemBudget bounds reachability memory in bytes (0 = unlimited).
+	MemBudget int64
+}
+
+// PullPair is a (read, write) static pair identified as loop-based custom
+// synchronization; detection suppresses such candidates (§3.2.1).
+type PullPair struct {
+	ReadStatic  int32
+	WriteStatic int32
+}
+
+// Graph is the happens-before DAG over a trace's records.
+type Graph struct {
+	Tr  *trace.Trace
+	cfg Config
+
+	in        [][]int32 // in[v] = predecessors of v
+	edgeSet   map[int64]bool
+	edgeCount int
+
+	reach []*bitset.Set // reach[v] = vertices that happen before v
+
+	// PullPairs lists the pull-synchronization pairs discovered while
+	// applying Rule-Mpull.
+	PullPairs []PullPair
+
+	// Rounds is the number of Rule-Eserial fixed-point iterations.
+	Rounds int
+}
+
+// Build constructs the HB graph and its reachability closure.
+func Build(tr *trace.Trace, cfg Config) (*Graph, error) {
+	g := &Graph{Tr: tr, cfg: cfg, edgeSet: map[int64]bool{}}
+	n := len(tr.Recs)
+	g.in = make([][]int32, n)
+
+	if cfg.MemBudget > 0 {
+		words := int64((n + 63) / 64)
+		need := words * 8 * int64(n)
+		if need > cfg.MemBudget {
+			return nil, fmt.Errorf("%w: need %d bytes for %d vertices, budget %d",
+				ErrOutOfMemory, need, n, cfg.MemBudget)
+		}
+	}
+
+	g.addProgramOrder()
+	g.addPairRules()
+	g.addPullEdges()
+	if err := g.closure(); err != nil {
+		return nil, err
+	}
+	if err := g.eserialFixedPoint(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return len(g.Tr.Recs) }
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int { return g.edgeCount }
+
+// MemBytes returns the reachability-closure memory footprint.
+func (g *Graph) MemBytes() int64 {
+	var total int64
+	for _, s := range g.reach {
+		total += int64(s.Bytes())
+	}
+	return total
+}
+
+func (g *Graph) addEdge(u, v int) {
+	if u == v || u < 0 || v < 0 {
+		return
+	}
+	if u > v {
+		// All causality in a real run flows forward in trace time; an
+		// inverted edge indicates record mismatch — drop it.
+		return
+	}
+	key := int64(u)<<32 | int64(v)
+	if g.edgeSet[key] {
+		return
+	}
+	g.edgeSet[key] = true
+	g.in[v] = append(g.in[v], int32(u))
+	g.edgeCount++
+}
+
+// ctxKey computes the program-order context of a record, honouring the
+// rule-ablation switches: with a family disabled, its handler instances
+// collapse into whole-thread order (the Rule-Preg fallback of §7.4).
+func (g *Graph) ctxKey(r *trace.Rec) int64 {
+	degrade := false
+	switch r.CtxKind {
+	case trace.CtxEvent:
+		degrade = g.cfg.DisableEvent
+	case trace.CtxRPC:
+		degrade = g.cfg.DisableRPC
+	case trace.CtxMsg:
+		degrade = g.cfg.DisableSocket
+	case trace.CtxWatch:
+		degrade = g.cfg.DisablePush
+	}
+	if degrade {
+		return int64(r.Thread)<<32 | 0xffffffff
+	}
+	return int64(r.Thread)<<32 | int64(uint32(r.Ctx))
+}
+
+// dropped reports whether a record's HB role is ignored under the ablation
+// config (the record still exists as a vertex and keeps program order).
+func (g *Graph) dropped(r *trace.Rec) bool {
+	switch r.Kind {
+	case trace.KEventCreate, trace.KEventBegin, trace.KEventEnd:
+		return g.cfg.DisableEvent
+	case trace.KRPCCreate, trace.KRPCBegin, trace.KRPCEnd, trace.KRPCJoin:
+		return g.cfg.DisableRPC
+	case trace.KSockSend, trace.KSockRecv:
+		return g.cfg.DisableSocket
+	case trace.KZKUpdate, trace.KZKPushed:
+		return g.cfg.DisablePush
+	}
+	return false
+}
+
+// addProgramOrder applies Rule-Preg / Rule-Pnreg.
+func (g *Graph) addProgramOrder() {
+	last := map[int64]int{}
+	for i := range g.Tr.Recs {
+		k := g.ctxKey(&g.Tr.Recs[i])
+		if p, ok := last[k]; ok {
+			g.addEdge(p, i)
+		}
+		last[k] = i
+	}
+}
+
+// addPairRules applies the ID-matched rules: Tfork/Tjoin, Eenq, Mrpc, Msoc,
+// Mpush.
+func (g *Graph) addPairRules() {
+	type key struct {
+		kind trace.Kind
+		op   uint64
+	}
+	first := map[key]int{}
+	for i := range g.Tr.Recs {
+		r := &g.Tr.Recs[i]
+		if g.dropped(r) {
+			continue
+		}
+		switch r.Kind {
+		case trace.KThreadCreate, trace.KThreadEnd, trace.KEventCreate,
+			trace.KRPCCreate, trace.KRPCEnd, trace.KSockSend, trace.KZKUpdate:
+			if _, dup := first[key{r.Kind, r.Op}]; !dup {
+				first[key{r.Kind, r.Op}] = i
+			}
+		}
+	}
+	pair := func(i int, srcKind trace.Kind, op uint64) {
+		if s, ok := first[key{srcKind, op}]; ok {
+			g.addEdge(s, i)
+		}
+	}
+	for i := range g.Tr.Recs {
+		r := &g.Tr.Recs[i]
+		if g.dropped(r) {
+			continue
+		}
+		switch r.Kind {
+		case trace.KThreadBegin:
+			pair(i, trace.KThreadCreate, r.Op)
+		case trace.KThreadJoin:
+			pair(i, trace.KThreadEnd, r.Op)
+		case trace.KEventBegin:
+			pair(i, trace.KEventCreate, r.Op)
+		case trace.KRPCBegin:
+			pair(i, trace.KRPCCreate, r.Op)
+		case trace.KRPCJoin:
+			pair(i, trace.KRPCEnd, r.Op)
+		case trace.KSockRecv:
+			pair(i, trace.KSockSend, r.Op)
+		case trace.KZKPushed:
+			pair(i, trace.KZKUpdate, r.Op)
+		}
+	}
+}
+
+// addPullEdges applies Rule-Mpull using the focused run's records: for each
+// recorded exit of a candidate loop, the last candidate read before it names
+// (via WriterSeq) the write w* that provided its value; if w* came from a
+// different thread, w* happens before the loop exit (§3.2.1).
+func (g *Graph) addPullEdges() {
+	if len(g.cfg.LoopReads) == 0 {
+		return
+	}
+	readSets := map[int32]map[int32]bool{}
+	for loop, reads := range g.cfg.LoopReads {
+		m := map[int32]bool{}
+		for _, r := range reads {
+			m[r] = true
+		}
+		readSets[loop] = m
+	}
+	// seqIdx: record sequence number -> index.
+	seqIdx := map[uint64]int{}
+	for i := range g.Tr.Recs {
+		seqIdx[g.Tr.Recs[i].Seq] = i
+	}
+	for i := range g.Tr.Recs {
+		exit := &g.Tr.Recs[i]
+		if exit.Kind != trace.KLoopExit {
+			continue
+		}
+		reads, ok := readSets[int32(exit.Op)]
+		if !ok {
+			continue
+		}
+		// Find the last candidate read before the exit.
+		for j := i - 1; j >= 0; j-- {
+			r := &g.Tr.Recs[j]
+			if r.Kind != trace.KMemRead || !reads[r.StaticID] || r.WriterSeq == 0 {
+				continue
+			}
+			w, ok := seqIdx[r.WriterSeq]
+			if !ok {
+				break
+			}
+			wr := &g.Tr.Recs[w]
+			if wr.Thread != r.Thread {
+				g.addEdge(w, i)
+				g.PullPairs = append(g.PullPairs, PullPair{ReadStatic: r.StaticID, WriteStatic: wr.StaticID})
+			}
+			break
+		}
+	}
+}
+
+// closure computes reach[v] for every vertex in topological (= trace) order.
+func (g *Graph) closure() error {
+	n := g.N()
+	g.reach = make([]*bitset.Set, n)
+	var used int64
+	for v := 0; v < n; v++ {
+		s := bitset.New(n)
+		used += int64(s.Bytes())
+		if g.cfg.MemBudget > 0 && used > g.cfg.MemBudget {
+			g.reach = nil
+			return fmt.Errorf("%w: exceeded %d bytes at vertex %d/%d",
+				ErrOutOfMemory, g.cfg.MemBudget, v, n)
+		}
+		for _, u := range g.in[v] {
+			s.Or(g.reach[u])
+			s.Add(int(u))
+		}
+		g.reach[v] = s
+	}
+	return nil
+}
+
+// eserialFixedPoint applies Rule-Eserial last (paper §3.2.1): repeatedly add
+// End(e1) ⇒ Begin(e2) for events of the same single-consumer queue whose
+// creations are already ordered, until no more edges appear.
+func (g *Graph) eserialFixedPoint() error {
+	if g.cfg.DisableEvent {
+		return nil
+	}
+	type ev struct{ create, begin, end int }
+	queues := map[string]map[uint64]*ev{}
+	for i := range g.Tr.Recs {
+		r := &g.Tr.Recs[i]
+		if r.Queue == "" || !g.Tr.SingleConsumer(r.Queue) {
+			continue
+		}
+		q := queues[r.Queue]
+		if q == nil {
+			q = map[uint64]*ev{}
+			queues[r.Queue] = q
+		}
+		e := q[r.Op]
+		if e == nil {
+			e = &ev{create: -1, begin: -1, end: -1}
+			q[r.Op] = e
+		}
+		switch r.Kind {
+		case trace.KEventCreate:
+			e.create = i
+		case trace.KEventBegin:
+			e.begin = i
+		case trace.KEventEnd:
+			e.end = i
+		}
+	}
+	for {
+		g.Rounds++
+		added := false
+		for _, q := range queues {
+			evs := make([]*ev, 0, len(q))
+			for _, e := range q {
+				if e.create >= 0 && e.begin >= 0 && e.end >= 0 {
+					evs = append(evs, e)
+				}
+			}
+			for _, e1 := range evs {
+				for _, e2 := range evs {
+					if e1 == e2 {
+						continue
+					}
+					if g.HappensBefore(e1.create, e2.create) && !g.HappensBefore(e1.end, e2.begin) {
+						before := g.edgeCount
+						g.addEdge(e1.end, e2.begin)
+						if g.edgeCount > before {
+							added = true
+						}
+					}
+				}
+			}
+		}
+		if !added {
+			return nil
+		}
+		if err := g.closure(); err != nil {
+			return err
+		}
+	}
+}
+
+// HappensBefore reports whether record i happens before record j (indices
+// into Tr.Recs).
+func (g *Graph) HappensBefore(i, j int) bool {
+	if i == j || i < 0 || j < 0 || j >= g.N() || i >= g.N() {
+		return false
+	}
+	if i > j {
+		return false // causality never flows backwards in trace time
+	}
+	return g.reach[j].Has(i)
+}
+
+// Concurrent reports whether neither record happens before the other.
+func (g *Graph) Concurrent(i, j int) bool {
+	return i != j && !g.HappensBefore(i, j) && !g.HappensBefore(j, i)
+}
+
+// VectorClocks computes a per-vertex vector clock with one dimension per
+// program-order context — the representation DCatch rejects as too slow for
+// large HB graphs (§3.2.2). Exposed for cross-validation tests and the
+// reachability-representation benchmark.
+func (g *Graph) VectorClocks() []vclock.Clock {
+	n := g.N()
+	clocks := make([]vclock.Clock, n)
+	dims := map[int64]int{}
+	dimOf := func(k int64) int {
+		d, ok := dims[k]
+		if !ok {
+			d = len(dims)
+			dims[k] = d
+		}
+		return d
+	}
+	for v := 0; v < n; v++ {
+		c := vclock.New()
+		for _, u := range g.in[v] {
+			c.Join(clocks[u])
+		}
+		c.Tick(dimOf(g.ctxKey(&g.Tr.Recs[v])))
+		clocks[v] = c
+	}
+	return clocks
+}
+
+// Path returns the vertex indices of one happens-before chain from i to j
+// (inclusive), or nil if i does not happen before j. It walks in-edges
+// backwards from j, preferring the chain discovered first; examples use it
+// to display causality chains like paper Fig. 3.
+func (g *Graph) Path(i, j int) []int {
+	if !g.HappensBefore(i, j) {
+		return nil
+	}
+	// Backward BFS from j until i.
+	prev := map[int]int{j: -1}
+	queue := []int{j}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == i {
+			var path []int
+			for u := i; u != -1; u = prev[u] {
+				path = append(path, u)
+			}
+			return path
+		}
+		for _, u := range g.in[v] {
+			if _, seen := prev[int(u)]; !seen && (int(u) == i || g.HappensBefore(i, int(u))) {
+				prev[int(u)] = v
+				queue = append(queue, int(u))
+			}
+		}
+	}
+	return nil
+}

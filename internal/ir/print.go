@@ -1,0 +1,53 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrintProgram renders the whole program as indented pseudo-code with static
+// IDs, the listing `dcatch -dump-program` shows and tests use to eyeball
+// subject systems.
+func PrintProgram(p *Program) string {
+	var b strings.Builder
+	for _, name := range p.FuncNames() {
+		fn := p.Funcs[name]
+		fmt.Fprintf(&b, "%s func %s(%s) {\n", fn.Kind, fn.Name, strings.Join(fn.Params, ", "))
+		printBlock(&b, fn.Body, 1)
+		b.WriteString("}\n\n")
+	}
+	return b.String()
+}
+
+func printBlock(b *strings.Builder, body []Stmt, depth int) {
+	indent := strings.Repeat("    ", depth)
+	for _, st := range body {
+		fmt.Fprintf(b, "%s[%3d] %s", indent, st.Meta().ID, st)
+		switch s := st.(type) {
+		case *If:
+			b.WriteString(" {\n")
+			printBlock(b, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", indent)
+				printBlock(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *While:
+			b.WriteString(" {\n")
+			printBlock(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *Sync:
+			b.WriteString(" {\n")
+			printBlock(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *Try:
+			b.WriteString(" {\n")
+			printBlock(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s} catch %s {\n", indent, s.Exc)
+			printBlock(b, s.Catch, depth+1)
+			fmt.Fprintf(b, "%s}\n", indent)
+		default:
+			b.WriteString("\n")
+		}
+	}
+}

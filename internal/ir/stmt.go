@@ -1,0 +1,460 @@
+package ir
+
+import "fmt"
+
+// Stmt is an IR statement. Every statement carries a Meta with a
+// program-unique static ID (the "static instruction" identity used for
+// deduplicating DCbug reports, paper §7.1) and a human-readable position.
+type Stmt interface {
+	Meta() *Meta
+	// Uses appends locals read by the statement itself (not by nested
+	// bodies) into set.
+	Uses(set map[string]bool)
+	// Defs returns the locals the statement assigns, if any.
+	Defs() []string
+	// Bodies returns nested statement blocks for traversal.
+	Bodies() [][]Stmt
+	String() string
+}
+
+// Meta holds static identity attached to every statement.
+type Meta struct {
+	ID  int    // program-unique static instruction ID (assigned by Finalize)
+	Pos string // e.g. "AM.getTask#3"
+	Fn  string // enclosing function name
+}
+
+// withMeta is embedded by every statement type to carry its Meta.
+type withMeta struct{ m Meta }
+
+// Meta returns the statement's static identity.
+func (w *withMeta) Meta() *Meta { return &w.m }
+
+// Read loads heap location Var[Key] (Key optional) on the executing node
+// into local Dst. Reads of absent locations yield null.
+type Read struct {
+	withMeta
+	Var string
+	Key Expr // may be nil
+	Dst string
+}
+
+// Write stores Val into heap location Var[Key] on the executing node.
+// Delete=true removes the location instead (a write for race purposes,
+// e.g. jMap.remove in Fig. 2).
+type Write struct {
+	withMeta
+	Var    string
+	Key    Expr // may be nil
+	Val    Expr // ignored when Delete
+	Delete bool
+}
+
+// Assign evaluates E into local Dst.
+type Assign struct {
+	withMeta
+	Dst string
+	E   Expr
+}
+
+// If branches on Cond.
+type If struct {
+	withMeta
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While loops while Cond is truthy. Loop-exit points are potential failure
+// instructions (paper §4.1: infinite loops) and loops are the anchor of the
+// pull-based custom-synchronization analysis (§3.2.1).
+type While struct {
+	withMeta
+	Cond Expr
+	Body []Stmt
+}
+
+// Break exits the innermost enclosing While.
+type Break struct{ withMeta }
+
+// Call invokes a regular function on the same node, synchronously, in the
+// caller's thread and handler context. Dst (optional) receives the return
+// value.
+type Call struct {
+	withMeta
+	Fn   string
+	Args []Expr
+	Dst  string
+}
+
+// RPCCall synchronously invokes RPC function Fn on node Target. The calling
+// thread blocks until the result returns (Rule-Mrpc).
+type RPCCall struct {
+	withMeta
+	Target Expr
+	Fn     string
+	Args   []Expr
+	Dst    string
+}
+
+// Send asynchronously delivers a message to node Target, where handler
+// function Fn (a FuncMsg) will process it (Rule-Msoc).
+type Send struct {
+	withMeta
+	Target Expr
+	Fn     string
+	Args   []Expr
+}
+
+// Spawn creates a new thread on the current node running Fn. Handle
+// (optional) receives a thread identifier for Join (Rule-Tfork).
+type Spawn struct {
+	withMeta
+	Fn     string
+	Args   []Expr
+	Handle string
+}
+
+// Join blocks until the thread identified by local Handle finishes
+// (Rule-Tjoin).
+type Join struct {
+	withMeta
+	Handle string
+}
+
+// Enqueue places an event on the named local queue; Fn (a FuncEvent) is its
+// handler (Rule-Eenq).
+type Enqueue struct {
+	withMeta
+	Queue string
+	Fn    string
+	Args  []Expr
+}
+
+// Sync executes Body while holding the node-local lock named Lock[Key].
+// DCatch does not use locks for HB but traces them for the triggering
+// module's placement analysis (paper §3.1.1, §5.2).
+type Sync struct {
+	withMeta
+	Lock string
+	Key  Expr // may be nil
+	Body []Stmt
+}
+
+// ZooKeeper-style coordination operations (Rule-Mpush sources; also treated
+// as conflicting accesses on the znode itself, as in bug HB-4729).
+//
+// Must=true makes a failed operation (create on existing path, set/delete
+// on missing path) throw the uncatchable exception "ZKFatal" — the way
+// HMaster crashes in HB-4729. Must=false stores success into Ok (optional).
+
+// ZKCreate creates a znode. Ephemeral znodes disappear (with watch
+// notifications) when their creating node crashes.
+type ZKCreate struct {
+	withMeta
+	Path      Expr
+	Data      Expr
+	Ephemeral bool
+	Must      bool
+	Ok        string
+}
+
+// ZKSet overwrites a znode's data.
+type ZKSet struct {
+	withMeta
+	Path Expr
+	Data Expr
+	Must bool
+	Ok   string
+}
+
+// ZKDelete removes a znode.
+type ZKDelete struct {
+	withMeta
+	Path Expr
+	Must bool
+	Ok   string
+}
+
+// ZKGet reads a znode's data into Dst (null when absent); Ok (optional)
+// receives existence.
+type ZKGet struct {
+	withMeta
+	Path Expr
+	Dst  string
+	Ok   string
+}
+
+// ZKWatch registers a persistent watch: changes to any znode whose path has
+// the given prefix are delivered as executions of handler Fn (a FuncEvent)
+// with args (path, data, kind) on the watching node (Rule-Mpush).
+type ZKWatch struct {
+	withMeta
+	Prefix Expr
+	Fn     string
+}
+
+// LogSeverity classifies log statements. Error and Fatal invocations are
+// failure instructions (paper §4.1); Info is not.
+type LogSeverity uint8
+
+// Log severities.
+const (
+	SevInfo LogSeverity = iota
+	SevWarn
+	SevError
+	SevFatal
+)
+
+// Log emits a log message; Args are appended.
+type Log struct {
+	withMeta
+	Sev  LogSeverity
+	Msg  string
+	Args []Expr
+}
+
+// Abort terminates the executing node (System.exit); a failure instruction.
+type Abort struct {
+	withMeta
+	Msg string
+}
+
+// Throw raises exception Exc. If no enclosing Try catches it, it
+// terminates the thread; exceptions listed in UncatchableExcs crash the
+// node (RuntimeException analog).
+type Throw struct {
+	withMeta
+	Exc string
+	Msg string
+}
+
+// Try runs Body; if a Throw with exception Exc (or any, when Exc == "")
+// escapes Body, Catch runs with local CaughtVar (optional) bound to the
+// exception name.
+type Try struct {
+	withMeta
+	Body      []Stmt
+	Exc       string
+	CaughtVar string
+	Catch     []Stmt
+}
+
+// Return ends the current function invocation with value E (nil = null).
+type Return struct {
+	withMeta
+	E Expr
+}
+
+// Sleep parks the thread for Ticks scheduler decisions, modeling timed
+// waits and daemons' pacing.
+type Sleep struct {
+	withMeta
+	Ticks int
+}
+
+// KillNode crashes node Target: its threads stop, in-flight messages to it
+// are dropped, and its ephemeral znodes are deleted (session expiry). Used
+// by workloads such as HB-4729's "expire server".
+type KillNode struct {
+	withMeta
+	Target Expr
+}
+
+// Print writes a line to the run log (not a failure instruction).
+type Print struct {
+	withMeta
+	Msg  string
+	Args []Expr
+}
+
+// --- Uses / Defs / Bodies -------------------------------------------------
+
+func add(set map[string]bool, es ...Expr) {
+	for _, e := range es {
+		if e != nil {
+			e.Locals(set)
+		}
+	}
+}
+
+func addArgs(set map[string]bool, args []Expr) {
+	for _, a := range args {
+		a.Locals(set)
+	}
+}
+
+func (s *Read) Uses(set map[string]bool)    { add(set, s.Key) }
+func (s *Write) Uses(set map[string]bool)   { add(set, s.Key, s.Val) }
+func (s *Assign) Uses(set map[string]bool)  { add(set, s.E) }
+func (s *If) Uses(set map[string]bool)      { add(set, s.Cond) }
+func (s *While) Uses(set map[string]bool)   { add(set, s.Cond) }
+func (s *Break) Uses(map[string]bool)       {}
+func (s *Call) Uses(set map[string]bool)    { addArgs(set, s.Args) }
+func (s *RPCCall) Uses(set map[string]bool) { add(set, s.Target); addArgs(set, s.Args) }
+func (s *Send) Uses(set map[string]bool)    { add(set, s.Target); addArgs(set, s.Args) }
+func (s *Spawn) Uses(set map[string]bool)   { addArgs(set, s.Args) }
+func (s *Join) Uses(set map[string]bool)    { set[s.Handle] = true }
+func (s *Enqueue) Uses(set map[string]bool) { addArgs(set, s.Args) }
+func (s *Sync) Uses(set map[string]bool)    { add(set, s.Key) }
+func (s *ZKCreate) Uses(set map[string]bool) {
+	add(set, s.Path, s.Data)
+}
+func (s *ZKSet) Uses(set map[string]bool)    { add(set, s.Path, s.Data) }
+func (s *ZKDelete) Uses(set map[string]bool) { add(set, s.Path) }
+func (s *ZKGet) Uses(set map[string]bool)    { add(set, s.Path) }
+func (s *ZKWatch) Uses(set map[string]bool)  { add(set, s.Prefix) }
+func (s *Log) Uses(set map[string]bool)      { addArgs(set, s.Args) }
+func (s *Abort) Uses(map[string]bool)        {}
+func (s *Throw) Uses(map[string]bool)        {}
+func (s *Try) Uses(map[string]bool)          {}
+func (s *Return) Uses(set map[string]bool)   { add(set, s.E) }
+func (s *Sleep) Uses(map[string]bool)        {}
+func (s *KillNode) Uses(set map[string]bool) { add(set, s.Target) }
+func (s *Print) Uses(set map[string]bool)    { addArgs(set, s.Args) }
+
+func none() []string { return nil }
+
+func (s *Read) Defs() []string   { return []string{s.Dst} }
+func (s *Write) Defs() []string  { return none() }
+func (s *Assign) Defs() []string { return []string{s.Dst} }
+func (s *If) Defs() []string     { return none() }
+func (s *While) Defs() []string  { return none() }
+func (s *Break) Defs() []string  { return none() }
+func (s *Call) Defs() []string {
+	if s.Dst != "" {
+		return []string{s.Dst}
+	}
+	return nil
+}
+func (s *RPCCall) Defs() []string {
+	if s.Dst != "" {
+		return []string{s.Dst}
+	}
+	return nil
+}
+func (s *Send) Defs() []string { return none() }
+func (s *Spawn) Defs() []string {
+	if s.Handle != "" {
+		return []string{s.Handle}
+	}
+	return nil
+}
+func (s *Join) Defs() []string    { return none() }
+func (s *Enqueue) Defs() []string { return none() }
+func (s *Sync) Defs() []string    { return none() }
+func okDef(ok string) []string {
+	if ok != "" {
+		return []string{ok}
+	}
+	return nil
+}
+func (s *ZKCreate) Defs() []string { return okDef(s.Ok) }
+func (s *ZKSet) Defs() []string    { return okDef(s.Ok) }
+func (s *ZKDelete) Defs() []string { return okDef(s.Ok) }
+func (s *ZKGet) Defs() []string {
+	d := []string{}
+	if s.Dst != "" {
+		d = append(d, s.Dst)
+	}
+	if s.Ok != "" {
+		d = append(d, s.Ok)
+	}
+	return d
+}
+func (s *ZKWatch) Defs() []string { return none() }
+func (s *Log) Defs() []string     { return none() }
+func (s *Abort) Defs() []string   { return none() }
+func (s *Throw) Defs() []string   { return none() }
+func (s *Try) Defs() []string {
+	if s.CaughtVar != "" {
+		return []string{s.CaughtVar}
+	}
+	return nil
+}
+func (s *Return) Defs() []string   { return none() }
+func (s *Sleep) Defs() []string    { return none() }
+func (s *KillNode) Defs() []string { return none() }
+func (s *Print) Defs() []string    { return none() }
+
+func nob() [][]Stmt { return nil }
+
+func (s *Read) Bodies() [][]Stmt     { return nob() }
+func (s *Write) Bodies() [][]Stmt    { return nob() }
+func (s *Assign) Bodies() [][]Stmt   { return nob() }
+func (s *If) Bodies() [][]Stmt       { return [][]Stmt{s.Then, s.Else} }
+func (s *While) Bodies() [][]Stmt    { return [][]Stmt{s.Body} }
+func (s *Break) Bodies() [][]Stmt    { return nob() }
+func (s *Call) Bodies() [][]Stmt     { return nob() }
+func (s *RPCCall) Bodies() [][]Stmt  { return nob() }
+func (s *Send) Bodies() [][]Stmt     { return nob() }
+func (s *Spawn) Bodies() [][]Stmt    { return nob() }
+func (s *Join) Bodies() [][]Stmt     { return nob() }
+func (s *Enqueue) Bodies() [][]Stmt  { return nob() }
+func (s *Sync) Bodies() [][]Stmt     { return [][]Stmt{s.Body} }
+func (s *ZKCreate) Bodies() [][]Stmt { return nob() }
+func (s *ZKSet) Bodies() [][]Stmt    { return nob() }
+func (s *ZKDelete) Bodies() [][]Stmt { return nob() }
+func (s *ZKGet) Bodies() [][]Stmt    { return nob() }
+func (s *ZKWatch) Bodies() [][]Stmt  { return nob() }
+func (s *Log) Bodies() [][]Stmt      { return nob() }
+func (s *Abort) Bodies() [][]Stmt    { return nob() }
+func (s *Throw) Bodies() [][]Stmt    { return nob() }
+func (s *Try) Bodies() [][]Stmt      { return [][]Stmt{s.Body, s.Catch} }
+func (s *Return) Bodies() [][]Stmt   { return nob() }
+func (s *Sleep) Bodies() [][]Stmt    { return nob() }
+func (s *KillNode) Bodies() [][]Stmt { return nob() }
+func (s *Print) Bodies() [][]Stmt    { return nob() }
+
+// --- String ---------------------------------------------------------------
+
+func loc(v string, k Expr) string {
+	if k == nil {
+		return v
+	}
+	return fmt.Sprintf("%s[%s]", v, k)
+}
+
+func (s *Read) String() string { return fmt.Sprintf("%s = read %s", s.Dst, loc(s.Var, s.Key)) }
+func (s *Write) String() string {
+	if s.Delete {
+		return fmt.Sprintf("delete %s", loc(s.Var, s.Key))
+	}
+	return fmt.Sprintf("write %s = %s", loc(s.Var, s.Key), s.Val)
+}
+func (s *Assign) String() string   { return fmt.Sprintf("%s = %s", s.Dst, s.E) }
+func (s *If) String() string       { return fmt.Sprintf("if %s", s.Cond) }
+func (s *While) String() string    { return fmt.Sprintf("while %s", s.Cond) }
+func (s *Break) String() string    { return "break" }
+func (s *Call) String() string     { return fmt.Sprintf("%s = call %s", s.Dst, s.Fn) }
+func (s *RPCCall) String() string  { return fmt.Sprintf("%s = rpc %s@%s", s.Dst, s.Fn, s.Target) }
+func (s *Send) String() string     { return fmt.Sprintf("send %s -> %s", s.Fn, s.Target) }
+func (s *Spawn) String() string    { return fmt.Sprintf("spawn %s", s.Fn) }
+func (s *Join) String() string     { return fmt.Sprintf("join %s", s.Handle) }
+func (s *Enqueue) String() string  { return fmt.Sprintf("enqueue %s -> %s", s.Fn, s.Queue) }
+func (s *Sync) String() string     { return fmt.Sprintf("sync %s", loc(s.Lock, s.Key)) }
+func (s *ZKCreate) String() string { return fmt.Sprintf("zk.create %s", s.Path) }
+func (s *ZKSet) String() string    { return fmt.Sprintf("zk.set %s", s.Path) }
+func (s *ZKDelete) String() string { return fmt.Sprintf("zk.delete %s", s.Path) }
+func (s *ZKGet) String() string    { return fmt.Sprintf("%s = zk.get %s", s.Dst, s.Path) }
+func (s *ZKWatch) String() string  { return fmt.Sprintf("zk.watch %s -> %s", s.Prefix, s.Fn) }
+func (s *Log) String() string {
+	names := [...]string{"INFO", "WARN", "ERROR", "FATAL"}
+	return fmt.Sprintf("log.%s %q", names[s.Sev], s.Msg)
+}
+func (s *Abort) String() string    { return fmt.Sprintf("abort %q", s.Msg) }
+func (s *Throw) String() string    { return fmt.Sprintf("throw %s", s.Exc) }
+func (s *Try) String() string      { return fmt.Sprintf("try/catch(%s)", s.Exc) }
+func (s *Return) String() string   { return fmt.Sprintf("return %s", s.E) }
+func (s *Sleep) String() string    { return fmt.Sprintf("sleep %d", s.Ticks) }
+func (s *KillNode) String() string { return fmt.Sprintf("kill %s", s.Target) }
+func (s *Print) String() string    { return fmt.Sprintf("print %q", s.Msg) }
+
+// UncatchableExcs lists exception names that crash the node when they
+// escape an event/RPC/message handler or a thread body — the
+// RuntimeException analog of paper §4.1.
+var UncatchableExcs = map[string]bool{
+	"RuntimeException": true,
+	"ZKFatal":          true,
+	"NullPointer":      true,
+}

@@ -1,0 +1,225 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+
+	"dcatch/internal/ir"
+	"dcatch/internal/trace"
+)
+
+func TestEnqueueUnknownQueueThrows(t *testing.T) {
+	b := ir.NewProgram("badq")
+	m := b.Func("main")
+	m.Enqueue("nope", "h")
+	b.Event("h")
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if len(res.Failures) != 1 || res.Failures[0].Kind != FailUncatchable {
+		t.Fatalf("enqueue to missing queue: %s", res.Summary())
+	}
+}
+
+func TestRPCToNodeWithoutWorkers(t *testing.T) {
+	b := ir.NewProgram("noworkers")
+	m := b.Func("main")
+	m.Try(func(bb *ir.BlockBuilder) {
+		bb.RPC("r", ir.S("srv"), "f")
+		bb.Print("unreachable")
+	}, "RPCError", "", func(bb *ir.BlockBuilder) {
+		bb.Print("caught unreachable service")
+	})
+	b.RPC("f")
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "cli", Mains: []MainSpec{{Fn: "main"}}},
+		{Name: "srv", RPCWorkers: 0}, // no RPC service
+	}}
+	res, _ := run(t, w, 1)
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "caught unreachable service") {
+		t.Fatalf("0-worker RPC did not error: %v", res.LogLines)
+	}
+}
+
+func TestSendToUnknownNodeDropped(t *testing.T) {
+	b := ir.NewProgram("ghostsend")
+	m := b.Func("main")
+	m.Send(ir.S("ghost"), "h")
+	m.Print("sent")
+	b.Msg("h")
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if !res.Completed || res.Failed() {
+		t.Fatalf("send to unknown node should be dropped silently: %s", res.Summary())
+	}
+}
+
+func TestJoinInvalidHandle(t *testing.T) {
+	b := ir.NewProgram("badjoin")
+	m := b.Func("main")
+	m.Assign("h", ir.S("not-a-thread"))
+	m.Join("h")
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if len(res.Failures) != 1 || res.Failures[0].Kind != FailUncatchable {
+		t.Fatalf("invalid join: %s", res.Summary())
+	}
+}
+
+func TestBreakAtFunctionBoundaryIsSwallowed(t *testing.T) {
+	b := ir.NewProgram("breaktop")
+	m := b.Func("main")
+	m.Call("", "f")
+	m.Print("after call")
+	f := b.Func("f")
+	f.Break() // no enclosing loop: ends the function
+	f.Print("unreachable")
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	logs := strings.Join(res.LogLines, "\n")
+	if !strings.Contains(logs, "after call") || strings.Contains(logs, "unreachable") {
+		t.Fatalf("break-at-boundary wrong: %v", res.LogLines)
+	}
+}
+
+func TestWatchMessagesToCrashedNodeDropped(t *testing.T) {
+	b := ir.NewProgram("deadwatch")
+	w1 := b.Func("watcherMain")
+	w1.ZKWatch(ir.S("/x"), "onX")
+	w1.Sleep(5)
+	w1.Abort("going down") // watcher crashes before the update
+	b.WatchHandler("onX")
+	u := b.Func("updaterMain")
+	u.Sleep(20)
+	u.ZKCreate(ir.S("/x/1"), ir.S("v"), "")
+	u.Print("updated")
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "watcher", Mains: []MainSpec{{Fn: "watcherMain"}}},
+		{Name: "updater", Mains: []MainSpec{{Fn: "updaterMain"}}},
+	}}
+	res, _ := run(t, w, 1)
+	// The abort is an intentional failure; the run must still complete
+	// (no stuck deliveries).
+	if !res.Completed {
+		t.Fatalf("run stuck after watcher crash: %s", res.Summary())
+	}
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "updated") {
+		t.Fatal("updater did not proceed")
+	}
+}
+
+func TestMultipleWatchersReceiveUpdates(t *testing.T) {
+	b := ir.NewProgram("multiwatch")
+	wm := b.Func("watcherMain")
+	wm.ZKWatch(ir.S("/cfg"), "onCfg")
+	wm.Sleep(40)
+	wm.Read("got", nil, "g")
+	wm.If(ir.IsNull(ir.L("g")), func(bb *ir.BlockBuilder) {
+		bb.LogError("missed notification")
+	})
+	h := b.WatchHandler("onCfg")
+	h.Write("got", nil, ir.L("data"))
+	u := b.Func("updaterMain")
+	u.Sleep(5)
+	u.ZKCreate(ir.S("/cfg"), ir.S("v1"), "")
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "w1", Mains: []MainSpec{{Fn: "watcherMain"}}},
+		{Name: "w2", Mains: []MainSpec{{Fn: "watcherMain"}}},
+		{Name: "up", Mains: []MainSpec{{Fn: "updaterMain"}}},
+	}}
+	res, _ := run(t, w, 3)
+	if res.Failed() {
+		t.Fatalf("a watcher missed the notification: %s", res.Summary())
+	}
+}
+
+func TestAbortOfOtherNodeContinuesCaller(t *testing.T) {
+	b := ir.NewProgram("killother")
+	m := b.Func("main")
+	m.KillNode(ir.S("victim"))
+	m.Print("still alive")
+	v := b.Func("victimMain")
+	v.Sleep(1000)
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "killer", Mains: []MainSpec{{Fn: "main"}}},
+		{Name: "victim", Mains: []MainSpec{{Fn: "victimMain"}}},
+	}}
+	res, _ := run(t, w, 1)
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "still alive") {
+		t.Fatal("killer thread did not continue")
+	}
+	if !res.Completed {
+		t.Fatalf("victim's sleeping thread kept the run alive: %s", res.Summary())
+	}
+}
+
+func TestKillUnknownNodeThrows(t *testing.T) {
+	b := ir.NewProgram("killghost")
+	m := b.Func("main")
+	m.KillNode(ir.S("ghost"))
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if len(res.Failures) != 1 || res.Failures[0].Kind != FailUncatchable {
+		t.Fatalf("kill of unknown node: %s", res.Summary())
+	}
+}
+
+func TestLogSeverities(t *testing.T) {
+	b := ir.NewProgram("logs")
+	m := b.Func("main")
+	m.LogInfo("info msg")
+	m.LogWarn("warn msg")
+	m.LogError("error msg")
+	m.LogFatal("fatal msg")
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if len(res.Failures) != 2 {
+		t.Fatalf("failures = %d, want 2 (error+fatal): %s", len(res.Failures), res.Summary())
+	}
+	kinds := map[FailKind]bool{}
+	for _, f := range res.Failures {
+		kinds[f.Kind] = true
+	}
+	if !kinds[FailErrorLog] || !kinds[FailFatalLog] {
+		t.Fatalf("wrong failure kinds: %v", res.Failures)
+	}
+	logs := strings.Join(res.LogLines, "\n")
+	for _, want := range []string{"INFO info msg", "WARN warn msg", "ERROR error msg", "FATAL fatal msg"} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("log missing %q", want)
+		}
+	}
+}
+
+func TestTraceStacksWithinHandlers(t *testing.T) {
+	// A handler's callee accesses carry the call-site stack rooted at the
+	// handler entry.
+	b := ir.NewProgram("hstack")
+	m := b.Func("main")
+	m.Enqueue("q", "h")
+	h := b.Event("h")
+	h.Call("", "inner")
+	inner := b.Func("inner")
+	inner.Write("x", nil, ir.I(1))
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "n1", Mains: []MainSpec{{Fn: "main"}}, Queues: []QueueSpec{{Name: "q", Consumers: 1}}},
+	}}
+	_, tr := run(t, w, 1)
+	for _, r := range tr.Recs {
+		if r.Kind == trace.KMemWrite && strings.Contains(r.Obj, "x") {
+			if len(r.Stack) != 1 {
+				t.Fatalf("handler callee stack = %v, want depth 1", r.Stack)
+			}
+			return
+		}
+	}
+	t.Fatal("write record not found")
+}
+
+func TestFailureStringFormats(t *testing.T) {
+	f := Failure{Kind: FailAbort, Node: "n1", Msg: "x", StaticID: 3}
+	if !strings.Contains(f.String(), "abort@n1") {
+		t.Fatalf("Failure.String = %q", f.String())
+	}
+	for k, want := range map[FailKind]string{
+		FailAbort: "abort", FailFatalLog: "fatal-log", FailErrorLog: "error-log",
+		FailUncatchable: "uncatchable-exception", FailHang: "hang",
+	} {
+		if k.String() != want {
+			t.Errorf("FailKind(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+}

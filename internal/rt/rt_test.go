@@ -1,0 +1,857 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+
+	"dcatch/internal/ir"
+	"dcatch/internal/trace"
+)
+
+// run executes a workload with tracing enabled and returns result + trace.
+func run(t *testing.T, w *Workload, seed int64) (*Result, *trace.Trace) {
+	t.Helper()
+	col := trace.NewCollector(w.Name)
+	res, err := Run(w, Options{Seed: seed, Collector: col, TraceMem: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res, col.Trace()
+}
+
+func count(tr *trace.Trace, k trace.Kind) int {
+	n := 0
+	for i := range tr.Recs {
+		if tr.Recs[i].Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func oneNode(p *ir.Program, name string, mains ...string) *Workload {
+	ms := make([]MainSpec, len(mains))
+	for i, m := range mains {
+		ms[i] = MainSpec{Fn: m}
+	}
+	return &Workload{
+		Name:    "test",
+		Program: p,
+		Nodes:   []NodeSpec{{Name: name, Mains: ms}},
+	}
+}
+
+func TestHelloHeap(t *testing.T) {
+	b := ir.NewProgram("hello")
+	f := b.Func("main")
+	f.Write("x", nil, ir.I(41))
+	f.Read("x", nil, "v")
+	f.Assign("v", ir.Add(ir.L("v"), ir.I(1)))
+	f.Write("x", nil, ir.L("v"))
+	f.Read("x", nil, "v2")
+	f.Print("x is", ir.L("v2"))
+	w := oneNode(b.MustBuild(), "n1", "main")
+	res, tr := run(t, w, 1)
+	if !res.Completed || res.Failed() {
+		t.Fatalf("run not clean: %s", res.Summary())
+	}
+	found := false
+	for _, l := range res.LogLines {
+		if strings.Contains(l, "x is 42") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected 'x is 42' in log, got %v", res.LogLines)
+	}
+	if count(tr, trace.KMemWrite) != 2 || count(tr, trace.KMemRead) != 2 {
+		t.Fatalf("mem records: %d writes, %d reads", count(tr, trace.KMemWrite), count(tr, trace.KMemRead))
+	}
+	if count(tr, trace.KThreadBegin) != 1 {
+		t.Fatalf("ThreadBegin count %d", count(tr, trace.KThreadBegin))
+	}
+}
+
+func TestKeyedLocations(t *testing.T) {
+	b := ir.NewProgram("keys")
+	f := b.Func("main")
+	f.Write("m", ir.S("a"), ir.I(1))
+	f.Write("m", ir.S("b"), ir.I(2))
+	f.Read("m", ir.S("a"), "va")
+	f.Read("m", ir.S("missing"), "vm")
+	f.If(ir.And(ir.Eq(ir.L("va"), ir.I(1)), ir.IsNull(ir.L("vm"))), func(bb *ir.BlockBuilder) {
+		bb.Print("ok")
+	}, func(bb *ir.BlockBuilder) {
+		bb.Print("bad")
+	})
+	res, tr := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "ok") {
+		t.Fatalf("keyed read wrong: %v", res.LogLines)
+	}
+	// Distinct locations have distinct memory IDs.
+	ids := map[string]bool{}
+	for _, r := range tr.Recs {
+		if r.Kind == trace.KMemWrite {
+			ids[r.Obj] = true
+		}
+	}
+	if !ids["n1/m[a]"] || !ids["n1/m[b]"] {
+		t.Fatalf("memory IDs wrong: %v", ids)
+	}
+}
+
+func TestRemoveMakesNull(t *testing.T) {
+	b := ir.NewProgram("rm")
+	f := b.Func("main")
+	f.Write("m", ir.S("k"), ir.I(7))
+	f.Remove("m", ir.S("k"))
+	f.Read("m", ir.S("k"), "v")
+	f.If(ir.IsNull(ir.L("v")), func(bb *ir.BlockBuilder) { bb.Print("gone") })
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "gone") {
+		t.Fatalf("remove did not null: %v", res.LogLines)
+	}
+}
+
+func TestSpawnJoin(t *testing.T) {
+	b := ir.NewProgram("fork")
+	m := b.Func("main")
+	m.Spawn("h", "child", ir.I(5))
+	m.Join("h")
+	m.Read("done", nil, "d")
+	m.If(ir.Eq(ir.L("d"), ir.I(5)), func(bb *ir.BlockBuilder) { bb.Print("joined") })
+	c := b.Func("child", "n")
+	c.Write("done", nil, ir.L("n"))
+	res, tr := run(t, oneNode(b.MustBuild(), "n1", "main"), 3)
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "joined") {
+		t.Fatalf("join semantics broken: %v", res.LogLines)
+	}
+	for _, k := range []trace.Kind{trace.KThreadCreate, trace.KThreadJoin} {
+		if count(tr, k) != 1 {
+			t.Fatalf("%v count = %d, want 1", k, count(tr, k))
+		}
+	}
+	if count(tr, trace.KThreadEnd) != 2 { // main + child
+		t.Fatalf("ThreadEnd = %d, want 2", count(tr, trace.KThreadEnd))
+	}
+	if count(tr, trace.KThreadBegin) != 2 { // main + child
+		t.Fatalf("ThreadBegin = %d, want 2", count(tr, trace.KThreadBegin))
+	}
+	// Create/Begin and End/Join must pair by thread-object ID and order.
+	var create, begin, end, join *trace.Rec
+	for i := range tr.Recs {
+		r := &tr.Recs[i]
+		switch r.Kind {
+		case trace.KThreadCreate:
+			create = r
+		case trace.KThreadEnd:
+			if create != nil && r.Op == create.Op {
+				end = r
+			}
+		case trace.KThreadJoin:
+			join = r
+		case trace.KThreadBegin:
+			if create != nil && r.Op == create.Op {
+				begin = r
+			}
+		}
+	}
+	if create == nil || begin == nil || end == nil || join == nil {
+		t.Fatal("missing fork/join records")
+	}
+	if create.Op != begin.Op || end.Op != join.Op || create.Op != end.Op {
+		t.Fatal("thread IDs do not pair")
+	}
+	if !(create.Seq < begin.Seq && end.Seq < join.Seq) {
+		t.Fatal("fork/join records out of order")
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	b := ir.NewProgram("rpc")
+	m := b.Func("main")
+	m.Write("req", nil, ir.I(1)) // traced? main is in scope-nil mode: everything traced
+	m.RPC("r", ir.S("srv"), "double", ir.I(21))
+	m.If(ir.Eq(ir.L("r"), ir.I(42)), func(bb *ir.BlockBuilder) { bb.Print("rpc-ok") })
+	d := b.RPC("double", "x")
+	d.Return(ir.Add(ir.L("x"), ir.L("x")))
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "cli", Mains: []MainSpec{{Fn: "main"}}},
+		{Name: "srv", RPCWorkers: 2},
+	}}
+	res, tr := run(t, w, 7)
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "rpc-ok") {
+		t.Fatalf("rpc result wrong: %v / %s", res.LogLines, res.Summary())
+	}
+	var cr, bg, en, jn *trace.Rec
+	for i := range tr.Recs {
+		r := &tr.Recs[i]
+		switch r.Kind {
+		case trace.KRPCCreate:
+			cr = r
+		case trace.KRPCBegin:
+			bg = r
+		case trace.KRPCEnd:
+			en = r
+		case trace.KRPCJoin:
+			jn = r
+		}
+	}
+	if cr == nil || bg == nil || en == nil || jn == nil {
+		t.Fatal("missing RPC records")
+	}
+	if cr.Op != bg.Op || bg.Op != en.Op || en.Op != jn.Op {
+		t.Fatal("RPC tags do not match")
+	}
+	if !(cr.Seq < bg.Seq && bg.Seq < en.Seq && en.Seq < jn.Seq) {
+		t.Fatal("RPC records out of order")
+	}
+	if bg.Node != "srv" || cr.Node != "cli" {
+		t.Fatalf("RPC record nodes wrong: begin@%s create@%s", bg.Node, cr.Node)
+	}
+	if bg.CtxKind != trace.CtxRPC {
+		t.Fatal("RPC handler context kind wrong")
+	}
+}
+
+func TestRPCToDeadNodeThrows(t *testing.T) {
+	b := ir.NewProgram("rpcdead")
+	m := b.Func("main")
+	m.Try(func(bb *ir.BlockBuilder) {
+		bb.RPC("r", ir.S("ghost"), "f")
+		bb.Print("unreachable")
+	}, "RPCError", "e", func(bb *ir.BlockBuilder) {
+		bb.Print("caught")
+	})
+	b.RPC("f")
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	logs := strings.Join(res.LogLines, "\n")
+	if !strings.Contains(logs, "caught") || strings.Contains(logs, "unreachable") {
+		t.Fatalf("RPC error handling wrong: %v", res.LogLines)
+	}
+	if !res.Completed {
+		t.Fatalf("run did not complete: %s", res.Summary())
+	}
+}
+
+func TestSocketDelivery(t *testing.T) {
+	b := ir.NewProgram("sock")
+	m := b.Func("main")
+	m.Send(ir.S("peer"), "onPing", ir.Self())
+	h := b.Msg("onPing", "from")
+	h.Write("lastPing", nil, ir.L("from"))
+	h.Print("ping from", ir.L("from"))
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "a", Mains: []MainSpec{{Fn: "main"}}},
+		{Name: "peer", NetWorkers: 1},
+	}}
+	res, tr := run(t, w, 5)
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "ping from a") {
+		t.Fatalf("socket handler did not run: %v", res.LogLines)
+	}
+	var snd, rcv *trace.Rec
+	for i := range tr.Recs {
+		r := &tr.Recs[i]
+		if r.Kind == trace.KSockSend {
+			snd = r
+		}
+		if r.Kind == trace.KSockRecv {
+			rcv = r
+		}
+	}
+	if snd == nil || rcv == nil || snd.Op != rcv.Op || snd.Seq >= rcv.Seq {
+		t.Fatalf("socket records wrong: %v %v", snd, rcv)
+	}
+	if rcv.CtxKind != trace.CtxMsg {
+		t.Fatal("socket handler ctx kind wrong")
+	}
+}
+
+func TestEventQueueFIFO(t *testing.T) {
+	b := ir.NewProgram("events")
+	m := b.Func("main")
+	m.Enqueue("q", "h", ir.I(1))
+	m.Enqueue("q", "h", ir.I(2))
+	m.Enqueue("q", "h", ir.I(3))
+	h := b.Event("h", "i")
+	h.Read("seen", nil, "s")
+	h.Write("seen", nil, ir.Cat(ir.L("s"), ir.L("i")))
+	h.Print("handled", ir.L("i"))
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "n1", Mains: []MainSpec{{Fn: "main"}}, Queues: []QueueSpec{{Name: "q", Consumers: 1}}},
+	}}
+	res, tr := run(t, w, 11)
+	logs := strings.Join(res.LogLines, "\n")
+	if !strings.Contains(logs, "handled 1") || !strings.Contains(logs, "handled 3") {
+		t.Fatalf("events not handled: %v", res.LogLines)
+	}
+	// FIFO with a single consumer: handled in enqueue order.
+	i1 := strings.Index(logs, "handled 1")
+	i2 := strings.Index(logs, "handled 2")
+	i3 := strings.Index(logs, "handled 3")
+	if !(i1 < i2 && i2 < i3) {
+		t.Fatalf("single-consumer queue not FIFO: %v", res.LogLines)
+	}
+	if count(tr, trace.KEventCreate) != 3 || count(tr, trace.KEventBegin) != 3 || count(tr, trace.KEventEnd) != 3 {
+		t.Fatal("event record counts wrong")
+	}
+	if !tr.SingleConsumer("n1/q") {
+		t.Fatal("queue metadata missing")
+	}
+	// Each Begin pairs an earlier Create with the same event ID.
+	creates := map[uint64]uint64{}
+	for _, r := range tr.Recs {
+		if r.Kind == trace.KEventCreate {
+			creates[r.Op] = r.Seq
+		}
+	}
+	for _, r := range tr.Recs {
+		if r.Kind == trace.KEventBegin {
+			cs, ok := creates[r.Op]
+			if !ok || cs >= r.Seq {
+				t.Fatalf("EventBegin %v has no earlier Create", r)
+			}
+		}
+	}
+}
+
+func TestLockBlocksAndHandsOff(t *testing.T) {
+	b := ir.NewProgram("locks")
+	m := b.Func("main")
+	m.Spawn("h1", "worker", ir.S("a"))
+	m.Spawn("h2", "worker", ir.S("b"))
+	m.Join("h1")
+	m.Join("h2")
+	wkr := b.Func("worker", "who")
+	wkr.Sync("lk", nil, func(bb *ir.BlockBuilder) {
+		bb.Read("owner", nil, "o")
+		bb.If(ir.NotE(ir.IsNull(ir.L("o"))), func(bb2 *ir.BlockBuilder) {
+			bb2.LogError("mutual exclusion violated")
+		})
+		bb.Write("owner", nil, ir.L("who"))
+		bb.Sleep(3)
+		bb.Remove("owner", nil)
+	})
+	p := b.MustBuild()
+	for seed := int64(1); seed <= 8; seed++ {
+		res, tr := run(t, oneNode(p, "n1", "main"), seed)
+		if res.Failed() {
+			t.Fatalf("seed %d: %s", seed, res.Summary())
+		}
+		if count(tr, trace.KLockAcq) != 2 || count(tr, trace.KLockRel) != 2 {
+			t.Fatalf("seed %d: lock record counts wrong", seed)
+		}
+	}
+}
+
+func TestReentrantLock(t *testing.T) {
+	b := ir.NewProgram("reentrant")
+	m := b.Func("main")
+	m.Sync("lk", nil, func(bb *ir.BlockBuilder) {
+		bb.Sync("lk", nil, func(bb2 *ir.BlockBuilder) {
+			bb2.Print("inner")
+		})
+	})
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if !res.Completed || !strings.Contains(strings.Join(res.LogLines, "\n"), "inner") {
+		t.Fatalf("reentrancy broken: %s", res.Summary())
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	b := ir.NewProgram("dl")
+	m := b.Func("main")
+	m.Spawn("h1", "w1")
+	m.Spawn("h2", "w2")
+	m.Join("h1")
+	m.Join("h2")
+	w1 := b.Func("w1")
+	w1.Sync("A", nil, func(bb *ir.BlockBuilder) {
+		bb.Sleep(5)
+		bb.Sync("B", nil, func(bb2 *ir.BlockBuilder) { bb2.Print("w1") })
+	})
+	w2 := b.Func("w2")
+	w2.Sync("B", nil, func(bb *ir.BlockBuilder) {
+		bb.Sleep(5)
+		bb.Sync("A", nil, func(bb2 *ir.BlockBuilder) { bb2.Print("w2") })
+	})
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 2)
+	if !res.Hang || !strings.Contains(res.HangInfo, "deadlock") {
+		t.Fatalf("deadlock not detected: %s", res.Summary())
+	}
+}
+
+func TestStepBudgetHang(t *testing.T) {
+	b := ir.NewProgram("spin")
+	m := b.Func("main")
+	m.Assign("go", ir.B(true))
+	m.While(ir.L("go"), func(bb *ir.BlockBuilder) {
+		bb.Read("never", nil, "x")
+	})
+	col := trace.NewCollector("spin")
+	res, err := Run(oneNode(b.MustBuild(), "n1", "main"), Options{Seed: 1, MaxSteps: 500, Collector: col, TraceMem: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hang || !strings.Contains(res.HangInfo, "step budget") {
+		t.Fatalf("spin not detected: %s", res.Summary())
+	}
+}
+
+func TestAbortCrashesNode(t *testing.T) {
+	b := ir.NewProgram("abort")
+	m := b.Func("main")
+	m.Abort("fatal condition")
+	m.Print("unreachable")
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if len(res.Failures) != 1 || res.Failures[0].Kind != FailAbort {
+		t.Fatalf("abort failure missing: %s", res.Summary())
+	}
+	if strings.Contains(strings.Join(res.LogLines, "\n"), "unreachable") {
+		t.Fatal("execution continued after abort")
+	}
+	if !res.Completed {
+		t.Fatalf("crashed-node run should still complete: %s", res.Summary())
+	}
+}
+
+func TestUncatchableCrashesNode(t *testing.T) {
+	b := ir.NewProgram("npe")
+	m := b.Func("main")
+	m.Spawn("h", "other")
+	m.Throw("RuntimeException", "boom")
+	o := b.Func("other")
+	o.Sleep(50)
+	o.Print("other done")
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if len(res.Failures) != 1 || res.Failures[0].Kind != FailUncatchable {
+		t.Fatalf("uncatchable failure missing: %s", res.Summary())
+	}
+	// The sibling thread on the crashed node must die too.
+	if strings.Contains(strings.Join(res.LogLines, "\n"), "other done") {
+		t.Fatal("sibling thread survived node crash")
+	}
+}
+
+func TestCatchableExceptionOnlyKillsThread(t *testing.T) {
+	b := ir.NewProgram("exc")
+	m := b.Func("main")
+	m.Spawn("h", "bad")
+	m.Sleep(10)
+	m.Print("main survived")
+	bad := b.Func("bad")
+	bad.Throw("IOException", "disk gone")
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if res.Failed() {
+		t.Fatalf("catchable exception recorded as failure: %s", res.Summary())
+	}
+	if len(res.ThreadDeaths) != 1 {
+		t.Fatalf("thread death not recorded: %v", res.ThreadDeaths)
+	}
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "main survived") {
+		t.Fatal("main did not survive")
+	}
+}
+
+func TestTryCatchSpecific(t *testing.T) {
+	b := ir.NewProgram("try")
+	m := b.Func("main")
+	m.Try(func(bb *ir.BlockBuilder) {
+		bb.Throw("AError", "a")
+	}, "BError", "", func(bb *ir.BlockBuilder) {
+		bb.Print("wrong catch")
+	})
+	m.Print("after")
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	logs := strings.Join(res.LogLines, "\n")
+	// AError escapes the BError catch, killing the main thread (catchable).
+	if strings.Contains(logs, "wrong catch") || strings.Contains(logs, "after") {
+		t.Fatalf("catch matching broken: %v", res.LogLines)
+	}
+	if len(res.ThreadDeaths) != 1 {
+		t.Fatalf("escaping exception should kill thread: %v", res.ThreadDeaths)
+	}
+}
+
+func TestZooKeeperOps(t *testing.T) {
+	b := ir.NewProgram("zk")
+	m := b.Func("main")
+	m.ZKCreate(ir.S("/cfg"), ir.S("v1"), "ok1")
+	m.ZKGet(ir.S("/cfg"), "d", "ok2")
+	m.If(ir.And(ir.L("ok1"), ir.Eq(ir.L("d"), ir.S("v1"))), func(bb *ir.BlockBuilder) { bb.Print("zk-ok") })
+	m.ZKSet(ir.S("/cfg"), ir.S("v2"), "")
+	m.ZKDelete(ir.S("/cfg"), "ok3")
+	m.ZKDelete(ir.S("/cfg"), "ok4") // second delete fails
+	m.If(ir.And(ir.L("ok3"), ir.NotE(ir.L("ok4"))), func(bb *ir.BlockBuilder) { bb.Print("del-ok") })
+	res, tr := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	logs := strings.Join(res.LogLines, "\n")
+	if !strings.Contains(logs, "zk-ok") || !strings.Contains(logs, "del-ok") {
+		t.Fatalf("zk ops wrong: %v / %s", res.LogLines, res.Summary())
+	}
+	if count(tr, trace.KZKUpdate) != 3 { // create, set, first delete
+		t.Fatalf("ZKUpdate count = %d, want 3", count(tr, trace.KZKUpdate))
+	}
+	// znode accesses recorded as memory accesses on "zk:" IDs.
+	zkMem := 0
+	for _, r := range tr.Recs {
+		if r.IsMem() && strings.HasPrefix(r.Obj, "zk:") {
+			zkMem++
+		}
+	}
+	if zkMem < 4 {
+		t.Fatalf("znode memory accesses = %d, want >= 4", zkMem)
+	}
+}
+
+func TestZKMustDeleteThrows(t *testing.T) {
+	b := ir.NewProgram("zkmust")
+	m := b.Func("main")
+	m.ZKMustDelete(ir.S("/missing"))
+	m.Print("unreachable")
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if len(res.Failures) != 1 || res.Failures[0].Kind != FailUncatchable {
+		t.Fatalf("ZKFatal not raised: %s", res.Summary())
+	}
+}
+
+func TestZKWatchDelivery(t *testing.T) {
+	b := ir.NewProgram("watch")
+	obs := b.Func("observerMain")
+	obs.ZKWatch(ir.S("/region/"), "onRegion")
+	obs.Write("ready", nil, ir.B(true))
+	h := b.WatchHandler("onRegion")
+	h.Print("watch fired:", ir.L("path"), ir.L("kind"), ir.L("data"))
+	h.Write("notified", nil, ir.L("path"))
+	up := b.Func("updaterMain")
+	up.Sleep(5) // let the watch register first
+	up.ZKCreate(ir.S("/region/r1"), ir.S("OPENED"), "")
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "master", Mains: []MainSpec{{Fn: "observerMain"}}},
+		{Name: "rs", Mains: []MainSpec{{Fn: "updaterMain"}}},
+	}}
+	res, tr := run(t, w, 9)
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "watch fired: /region/r1 created OPENED") {
+		t.Fatalf("watch not delivered: %v", res.LogLines)
+	}
+	var upd, psh *trace.Rec
+	for i := range tr.Recs {
+		r := &tr.Recs[i]
+		if r.Kind == trace.KZKUpdate {
+			upd = r
+		}
+		if r.Kind == trace.KZKPushed {
+			psh = r
+		}
+	}
+	if upd == nil || psh == nil {
+		t.Fatal("missing push-sync records")
+	}
+	if upd.Op != psh.Op || upd.Obj != psh.Obj {
+		t.Fatalf("Update/Pushed do not pair: %v vs %v", upd, psh)
+	}
+	if upd.Node != "rs" || psh.Node != "master" {
+		t.Fatalf("push record nodes wrong: %s -> %s", upd.Node, psh.Node)
+	}
+	if psh.CtxKind != trace.CtxWatch {
+		t.Fatal("watch handler ctx kind wrong")
+	}
+}
+
+func TestEphemeralExpiryOnKill(t *testing.T) {
+	b := ir.NewProgram("eph")
+	rs := b.Func("rsMain")
+	rs.ZKCreateEphemeral(ir.S("/servers/rs1"), ir.S("alive"), "")
+	rs.Sleep(1000)
+	master := b.Func("masterMain")
+	master.ZKWatch(ir.S("/servers/"), "onServer")
+	master.Sleep(20)
+	master.KillNode(ir.S("rs1"))
+	master.Sleep(50)
+	h := b.WatchHandler("onServer")
+	h.If(ir.Eq(ir.L("kind"), ir.S("deleted")), func(bb *ir.BlockBuilder) {
+		bb.Print("server expired:", ir.L("path"))
+	})
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "master", Mains: []MainSpec{{Fn: "masterMain"}}},
+		{Name: "rs1", Mains: []MainSpec{{Fn: "rsMain"}}},
+	}}
+	res, _ := run(t, w, 4)
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "server expired: /servers/rs1") {
+		t.Fatalf("session expiry not delivered: %v / %s", res.LogLines, res.Summary())
+	}
+}
+
+func TestWhileAndBreak(t *testing.T) {
+	b := ir.NewProgram("loop")
+	m := b.Func("main")
+	m.Assign("i", ir.I(0))
+	m.While(ir.B(true), func(bb *ir.BlockBuilder) {
+		bb.Assign("i", ir.Add(ir.L("i"), ir.I(1)))
+		bb.If(ir.Ge(ir.L("i"), ir.I(5)), func(bb2 *ir.BlockBuilder) { bb2.Break() })
+	})
+	m.Print("i =", ir.L("i"))
+	res, _ := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "i = 5") {
+		t.Fatalf("loop/break wrong: %v", res.LogLines)
+	}
+}
+
+func TestCallReturnValue(t *testing.T) {
+	b := ir.NewProgram("call")
+	m := b.Func("main")
+	m.Call("r", "inc", ir.I(4))
+	m.Print("r =", ir.L("r"))
+	inc := b.Func("inc", "x")
+	inc.Return(ir.Add(ir.L("x"), ir.I(1)))
+	res, tr := run(t, oneNode(b.MustBuild(), "n1", "main"), 1)
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "r = 5") {
+		t.Fatalf("call return wrong: %v", res.LogLines)
+	}
+	_ = tr
+}
+
+func TestCallstackInRecords(t *testing.T) {
+	b := ir.NewProgram("stack")
+	m := b.Func("main")
+	m.Call("", "outer")
+	o := b.Func("outer")
+	o.Call("", "inner")
+	i := b.Func("inner")
+	i.Write("x", nil, ir.I(1))
+	p := b.MustBuild()
+	res, tr := run(t, oneNode(p, "n1", "main"), 1)
+	if res.Failed() {
+		t.Fatal(res.Summary())
+	}
+	var w *trace.Rec
+	for j := range tr.Recs {
+		if tr.Recs[j].Kind == trace.KMemWrite {
+			w = &tr.Recs[j]
+		}
+	}
+	if w == nil || len(w.Stack) != 2 {
+		t.Fatalf("write stack = %v, want depth 2", w)
+	}
+	// Stack entries are the Call sites: main's call to outer, outer's to inner.
+	if p.Pos(int(w.Stack[0])) != "main#0" || p.Pos(int(w.Stack[1])) != "outer#0" {
+		t.Fatalf("stack positions: %s, %s", p.Pos(int(w.Stack[0])), p.Pos(int(w.Stack[1])))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	b := ir.NewProgram("det")
+	m := b.Func("main")
+	m.Spawn("h1", "w", ir.I(1))
+	m.Spawn("h2", "w", ir.I(2))
+	m.Join("h1")
+	m.Join("h2")
+	wf := b.Func("w", "i")
+	wf.Write("slot", ir.L("i"), ir.L("i"))
+	wf.Read("shared", nil, "s")
+	wf.Write("shared", nil, ir.L("i"))
+	p := b.MustBuild()
+	enc := func(seed int64) string {
+		col := trace.NewCollector("det")
+		if _, err := Run(oneNode(p, "n1", "main"), Options{Seed: seed, Collector: col, TraceMem: true}); err != nil {
+			t.Fatal(err)
+		}
+		return string(col.Trace().Encode())
+	}
+	if enc(42) != enc(42) {
+		t.Fatal("same seed produced different traces")
+	}
+	// Different seeds usually give different interleavings; just require
+	// both to be valid (no crash) — checked implicitly above.
+}
+
+func TestSelectiveMemScope(t *testing.T) {
+	b := ir.NewProgram("scope")
+	m := b.Func("main")
+	m.Write("untracked", nil, ir.I(1))
+	m.RPC("", ir.S("srv"), "handler")
+	h := b.RPC("handler")
+	h.Write("tracked", nil, ir.I(2))
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "cli", Mains: []MainSpec{{Fn: "main"}}},
+		{Name: "srv", RPCWorkers: 1},
+	}}
+	col := trace.NewCollector("scope")
+	_, err := Run(w, Options{Seed: 1, Collector: col, TraceMem: true, MemScope: map[string]bool{"handler": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range col.Trace().Recs {
+		if r.IsMem() && strings.Contains(r.Obj, "untracked") {
+			t.Fatal("out-of-scope access traced")
+		}
+	}
+	found := false
+	for _, r := range col.Trace().Recs {
+		if r.IsMem() && strings.Contains(r.Obj, "tracked") && !strings.Contains(r.Obj, "untracked") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("in-scope access not traced")
+	}
+}
+
+func TestPullProbeRecords(t *testing.T) {
+	// A poll loop over an RPC: with PullLoops/PullReads set, the run emits
+	// LoopExit and WriterSeq records for the focused analysis.
+	b := ir.NewProgram("pull")
+	m := b.Func("main")
+	m.Assign("got", ir.NullE())
+	m.While(ir.IsNull(ir.L("got")), func(bb *ir.BlockBuilder) {
+		bb.RPC("got", ir.S("srv"), "getTask")
+	})
+	m.Print("done")
+	g := b.RPC("getTask")
+	g.Read("jMap", ir.S("j1"), "t")
+	g.Return(ir.L("t"))
+	reg := b.Func("regMain")
+	reg.Sleep(8)
+	reg.Write("jMap", ir.S("j1"), ir.S("task"))
+	p := b.MustBuild()
+
+	loopID := p.FindStmt("main", func(st ir.Stmt) bool { _, ok := st.(*ir.While); return ok }).Meta().ID
+	readID := p.FindStmt("getTask", func(st ir.Stmt) bool { _, ok := st.(*ir.Read); return ok }).Meta().ID
+
+	w := &Workload{Name: "t", Program: p, Nodes: []NodeSpec{
+		{Name: "nm", Mains: []MainSpec{{Fn: "main"}}},
+		{Name: "srv", Mains: []MainSpec{{Fn: "regMain"}}, RPCWorkers: 1},
+	}}
+	col := trace.NewCollector("pull")
+	res, err := Run(w, Options{
+		Seed: 3, Collector: col, TraceMem: true,
+		PullLoops: map[int32]bool{int32(loopID): true},
+		PullReads: map[int32]bool{int32(readID): true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("pull run did not complete: %s", res.Summary())
+	}
+	tr := col.Trace()
+	exits := 0
+	var lastRead *trace.Rec
+	for i := range tr.Recs {
+		r := &tr.Recs[i]
+		if r.Kind == trace.KLoopExit && r.Op == uint64(loopID) {
+			exits++
+		}
+		if r.Kind == trace.KMemRead && r.StaticID == int32(readID) {
+			lastRead = r
+		}
+	}
+	if exits != 1 {
+		t.Fatalf("LoopExit records = %d, want 1", exits)
+	}
+	if lastRead == nil || lastRead.WriterSeq == 0 {
+		t.Fatalf("final pull read lacks writer provenance: %v", lastRead)
+	}
+	w2 := tr.Recs[lastRead.WriterSeq-1]
+	if w2.Kind != trace.KMemWrite || w2.Node != "srv" {
+		t.Fatalf("writer provenance wrong: %v", w2)
+	}
+}
+
+func TestKillNodeDropsInFlight(t *testing.T) {
+	b := ir.NewProgram("kill")
+	m := b.Func("main")
+	m.Send(ir.S("victim"), "onMsg")
+	m.KillNode(ir.S("victim"))
+	m.Print("killer done")
+	h := b.Msg("onMsg")
+	h.Print("victim handled msg")
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "killer", Mains: []MainSpec{{Fn: "main"}}},
+		{Name: "victim", NetWorkers: 1},
+	}}
+	// Whichever order delivery and kill interleave, the run must terminate
+	// cleanly (message either handled before the kill or dropped).
+	for seed := int64(1); seed <= 10; seed++ {
+		res, _ := run(t, w, seed)
+		if !res.Completed {
+			t.Fatalf("seed %d: %s", seed, res.Summary())
+		}
+	}
+}
+
+func TestStructureDump(t *testing.T) {
+	b := ir.NewProgram("dump")
+	b.Func("main")
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "am", Mains: []MainSpec{{Fn: "main"}}, Queues: []QueueSpec{{Name: "events", Consumers: 1}, {Name: "pool", Consumers: 4}}, RPCWorkers: 2},
+	}}
+	d := w.StructureDump()
+	for _, want := range []string{"node am", "rpc workers: 2", "single-consumer", "multi-consumer"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestValidateRejectsBadTopology(t *testing.T) {
+	b := ir.NewProgram("v")
+	b.Func("main")
+	p := b.MustBuild()
+	cases := []*Workload{
+		{Name: "no nodes", Program: p},
+		{Name: "dup", Program: p, Nodes: []NodeSpec{{Name: "a"}, {Name: "a"}}},
+		{Name: "bad main", Program: p, Nodes: []NodeSpec{{Name: "a", Mains: []MainSpec{{Fn: "nope"}}}}},
+		{Name: "bad queue", Program: p, Nodes: []NodeSpec{{Name: "a", Queues: []QueueSpec{{Name: "q", Consumers: 0}}}}},
+	}
+	for _, w := range cases {
+		if err := w.Validate(); err == nil {
+			t.Errorf("workload %q validated", w.Name)
+		}
+	}
+}
+
+func TestRPCHandlerCrashAnswersCaller(t *testing.T) {
+	// An uncatchable exception inside an RPC handler crashes the node;
+	// the blocked caller must receive an error response (via the node
+	// crash path), not hang forever.
+	b := ir.NewProgram("crashrpc")
+	m := b.Func("main")
+	m.Try(func(bb *ir.BlockBuilder) {
+		bb.RPC("r", ir.S("srv"), "boom")
+		bb.Print("unreachable")
+	}, "RPCError", "", func(bb *ir.BlockBuilder) {
+		bb.Print("caller saw error")
+	})
+	f := b.RPC("boom")
+	f.Throw("RuntimeException", "handler exploded")
+	w := &Workload{Name: "t", Program: b.MustBuild(), Nodes: []NodeSpec{
+		{Name: "cli", Mains: []MainSpec{{Fn: "main"}}},
+		{Name: "srv", RPCWorkers: 1},
+	}}
+	for seed := int64(1); seed <= 5; seed++ {
+		res, _ := run(t, w, seed)
+		if res.Hang {
+			t.Fatalf("seed %d: caller hung: %s", seed, res.Summary())
+		}
+		if !strings.Contains(strings.Join(res.LogLines, "\n"), "caller saw error") {
+			t.Fatalf("seed %d: caller did not observe the crash: %v", seed, res.LogLines)
+		}
+	}
+}
+
+func TestSleepTimeJump(t *testing.T) {
+	// When only sleepers remain, the scheduler jumps time instead of
+	// burning steps.
+	b := ir.NewProgram("sleepy")
+	m := b.Func("main")
+	m.Sleep(100_000)
+	m.Print("woke")
+	col := trace.NewCollector("s")
+	res, err := Run(oneNode(b.MustBuild(), "n1", "main"), Options{Seed: 1, MaxSteps: 200_000, Collector: col, TraceMem: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("sleeper did not finish: %s", res.Summary())
+	}
+}

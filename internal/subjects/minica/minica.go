@@ -1,0 +1,185 @@
+// Package minica is a miniature Cassandra: peers exchange gossip over
+// asynchronous sockets to learn each other's ring tokens, and a write
+// coordinator places a backup replica for a key range owned by a
+// bootstrapping node.
+//
+// Re-injected bug CA-1011 (startup, data backup failure, distributed
+// explicit error, atomicity violation): the coordinator's replica-placement
+// read of the token ring races with the gossip handler installing the
+// joining node's token. If the read wins, the coordinator logs an error
+// locally and falls back to a node that does not own the range, which
+// rejects the backup with an explicit error on a *different* node than the
+// root-cause accesses — the paper's DE pattern.
+//
+// A second injected race (bootstrap ownership initialization vs an early
+// incoming backup) is also harmful; a schema-version race is benign (the
+// next gossip round repairs it, §7.2's Cassandra discussion); counters and
+// peer-status bookkeeping are no-impact noise for static pruning.
+package minica
+
+import (
+	"dcatch/internal/ir"
+	"dcatch/internal/rt"
+	"dcatch/internal/subjects"
+)
+
+// Node names; CA3 is the bootstrapping node that owns key range k42.
+const (
+	CA1 = "ca1"
+	CA2 = "ca2"
+	CA3 = "ca3"
+)
+
+// Program builds the mini-Cassandra subject program.
+func Program() *ir.Program {
+	b := ir.NewProgram("minica")
+
+	m := b.Func("CA.main", "peer1", "peer2", "rounds")
+	// Startup SYN to both peers (also puts this function in DCatch's
+	// selective-tracing scope: it performs socket operations, §3.1.1).
+	m.Send(ir.L("peer1"), "CA.onPing", ir.Self())
+	m.Send(ir.L("peer2"), "CA.onPing", ir.Self())
+	m.Write("tokenRing", ir.Self(), ir.Cat(ir.S("tok-"), ir.Self()))
+	m.If(ir.Eq(ir.Self(), ir.S(CA3)), func(t *ir.BlockBuilder) {
+		// Bootstrapping node: claim ownership of the joining range.
+		t.Write("owns", ir.S("k42"), ir.I(1)) // races with early backups
+	})
+	m.Spawn("", "CA.gossiper", ir.L("peer1"), ir.L("peer2"), ir.L("rounds"))
+	m.Spawn("", "CA.maintenance", ir.L("rounds"))
+	m.If(ir.Eq(ir.Self(), ir.S(CA1)), func(t *ir.BlockBuilder) {
+		t.Spawn("", "CA.repair")
+		t.Sleep(140)
+		t.Spawn("", "CA.writeHandler")
+	})
+
+	g := b.Func("CA.gossiper", "p1", "p2", "rounds")
+	g.Assign("i", ir.I(0))
+	g.While(ir.Lt(ir.L("i"), ir.L("rounds")), func(t *ir.BlockBuilder) {
+		t.Send(ir.L("p1"), "CA.onGossip", ir.Self(), ir.Cat(ir.S("tok-"), ir.Self()))
+		t.Send(ir.L("p2"), "CA.onGossip", ir.Self(), ir.Cat(ir.S("tok-"), ir.Self()))
+		t.Assign("i", ir.Add(ir.L("i"), ir.I(1)))
+		t.Sleep(8)
+	})
+
+	og := b.Msg("CA.onGossip", "from", "tok")
+	// The handler locks the ring; the coordinator's read does not — the
+	// CA-1011 atomicity violation.
+	og.Sync("ringLock", nil, func(l *ir.BlockBuilder) {
+		l.Write("tokenRing", ir.L("from"), ir.L("tok")) // CA-1011 racing write
+	})
+	og.Write("schemaVer", nil, ir.S("v1")) // benign: next gossip repairs
+	og.Write("peerStatus", ir.L("from"), ir.S("UP"))
+	og.Read("gossipCount", nil, "c")
+	og.If(ir.IsNull(ir.L("c")), func(t *ir.BlockBuilder) { t.Assign("c", ir.I(0)) })
+	og.Write("gossipCount", nil, ir.Add(ir.L("c"), ir.I(1)))
+
+	wh := b.Func("CA.writeHandler")
+	wh.Read("tokenRing", ir.S(CA3), "t3") // CA-1011 racing read
+	wh.If(ir.IsNull(ir.L("t3")), func(t *ir.BlockBuilder) {
+		t.LogError("no backup endpoint for joining range; falling back")
+		t.Send(ir.S(CA2), "CA.storeBackup", ir.S("k42"))
+	}, func(t *ir.BlockBuilder) {
+		t.Send(ir.S(CA3), "CA.storeBackup", ir.S("k42"))
+	})
+
+	sb := b.Msg("CA.storeBackup", "key")
+	sb.Read("owns", ir.L("key"), "o") // bootstrap-ownership racing read
+	sb.If(ir.IsNull(ir.L("o")), func(t *ir.BlockBuilder) {
+		t.LogError("received backup for range not owned", ir.L("key"))
+	}, func(t *ir.BlockBuilder) {
+		t.Write("store", ir.L("key"), ir.S("backup-data"))
+		t.LogInfo("backup stored", ir.L("key"))
+	})
+
+	rp := b.Func("CA.repair")
+	rp.Sleep(30)
+	rp.Read("schemaVer", nil, "sv") // benign racing read
+	rp.If(ir.Eq(ir.L("sv"), ir.S("CORRUPT")), func(t *ir.BlockBuilder) {
+		t.Abort("schema corruption detected") // never reached
+	})
+	// Gossip the locally observed schema version around the ring.
+	rp.Send(ir.S(CA2), "CA.onSchemaGossip", ir.L("sv"))
+
+	sg := b.Msg("CA.onSchemaGossip", "sv")
+	sg.Write("peerSchema", nil, ir.L("sv"))
+
+	pn := b.Msg("CA.onPing", "from")
+	pn.Write("lastPing", ir.L("from"), ir.I(1))
+
+	// Compaction: local storage maintenance with no communication — the
+	// memory traffic only unselective tracing records (Table 8).
+	mt := b.Func("CA.maintenance", "iters")
+	mt.Assign("i", ir.I(0))
+	mt.While(ir.Lt(ir.L("i"), ir.Add(ir.L("iters"), ir.I(1))), func(t *ir.BlockBuilder) {
+		t.Read("compactions", nil, "c")
+		t.If(ir.IsNull(ir.L("c")), func(t2 *ir.BlockBuilder) { t2.Assign("c", ir.I(0)) })
+		t.Write("compactions", nil, ir.Add(ir.L("c"), ir.I(1)))
+		t.Read("sstables", ir.L("i"), "sst")
+		t.Write("sstables", ir.L("i"), ir.S("compacted"))
+		t.Write("diskUsage", nil, ir.L("i"))
+		t.Assign("i", ir.Add(ir.L("i"), ir.I(1)))
+		t.Sleep(4)
+	})
+
+	return b.MustBuild()
+}
+
+// Workload is the paper's Cassandra "startup" workload.
+func Workload() *rt.Workload { return WorkloadN(1) }
+
+// WorkloadN gossips for the given number of rounds; larger values scale
+// traces for the performance experiments (Tables 6 and 8).
+func WorkloadN(rounds int) *rt.Workload {
+	peers := map[string][2]string{
+		CA1: {CA2, CA3},
+		CA2: {CA1, CA3},
+		CA3: {CA1, CA2},
+	}
+	var nodes []rt.NodeSpec
+	for _, n := range []string{CA1, CA2, CA3} {
+		nodes = append(nodes, rt.NodeSpec{
+			Name:       n,
+			NetWorkers: 1,
+			Mains: []rt.MainSpec{{
+				Fn:   "CA.main",
+				Args: []ir.Value{ir.StrV(peers[n][0]), ir.StrV(peers[n][1]), ir.IntV(int64(rounds))},
+			}},
+		})
+	}
+	return &rt.Workload{Name: "minica", Program: Program(), Nodes: nodes}
+}
+
+// BenchCA1011 is the Cassandra startup benchmark.
+func BenchCA1011() *subjects.Benchmark {
+	w := Workload()
+	p := w.Program
+	return &subjects.Benchmark{
+		ID:           "CA-1011",
+		System:       "Cassandra",
+		WorkloadDesc: "startup",
+		Symptom:      "Data backup failure",
+		ErrorPattern: "DE",
+		RootCause:    "AV",
+		Workload:     w,
+		Seed:         1,
+		Bugs: []subjects.KnownPair{
+			{
+				Desc: "gossip tokenRing install vs replica-placement read",
+				A:    subjects.WriteOf(p, "CA.onGossip", "tokenRing"),
+				B:    subjects.ReadOf(p, "CA.writeHandler", "tokenRing"),
+			},
+			{
+				Desc: "bootstrap ownership init vs incoming backup check",
+				A:    subjects.WriteOf(p, "CA.main", "owns"),
+				B:    subjects.ReadOf(p, "CA.storeBackup", "owns"),
+			},
+		},
+		Benigns: []subjects.KnownPair{
+			{
+				Desc: "gossip schemaVer write vs repair read",
+				A:    subjects.WriteOf(p, "CA.onGossip", "schemaVer"),
+				B:    subjects.ReadOf(p, "CA.repair", "schemaVer"),
+			},
+		},
+	}
+}

@@ -1,0 +1,123 @@
+package minica
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dcatch/internal/core"
+	"dcatch/internal/rt"
+	"dcatch/internal/subjects"
+	"dcatch/internal/trigger"
+)
+
+func TestCorrectRunsAreClean(t *testing.T) {
+	w := Workload()
+	for seed := int64(1); seed <= 6; seed++ {
+		res, err := rt.Run(w, rt.Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Failed() || !res.Completed {
+			t.Errorf("seed %d not clean: %s", seed, res.Summary())
+		}
+		if !strings.Contains(strings.Join(res.LogLines, "\n"), "backup stored k42") {
+			t.Errorf("seed %d: backup not stored: %v", seed, res.LogLines)
+		}
+	}
+}
+
+func TestDetectsKnownBugs(t *testing.T) {
+	bench := BenchCA1011()
+	res, err := core.Detect(bench.Workload, core.Options{Seed: bench.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("CA-1011: %s", res.Summary())
+	found, missing := bench.DetectedBugs(res.Final)
+	if found != len(bench.Bugs) {
+		t.Fatalf("bugs found %d/%d; missing %v\nreport:\n%s",
+			found, len(bench.Bugs), missing, res.Final.Format(bench.Workload.Program))
+	}
+	for _, kp := range bench.Benigns {
+		if !res.Final.HasStaticPair(kp.A, kp.B) {
+			t.Errorf("benign pair missing: %s", kp.Desc)
+		}
+	}
+	if res.Stats.SPCallstack >= res.Stats.TACallstack {
+		t.Errorf("pruning removed nothing: TA=%d SP=%d",
+			res.Stats.TACallstack, res.Stats.SPCallstack)
+	}
+}
+
+func verdictOf(vals []trigger.Validation, kp subjects.KnownPair) (trigger.Verdict, bool) {
+	a, b := kp.A, kp.B
+	if a > b {
+		a, b = b, a
+	}
+	key := fmt.Sprintf("%d|%d", a, b)
+	for _, v := range vals {
+		if v.Pair.StaticKey() == key {
+			return v.Verdict, true
+		}
+	}
+	return 0, false
+}
+
+func TestTriggerVerdicts(t *testing.T) {
+	bench := BenchCA1011()
+	res, err := core.Detect(bench.Workload, core.Options{Seed: bench.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := core.ValidateAll(res, core.TriggerOptions{MaxSteps: 150_000})
+	for _, v := range vals {
+		t.Logf("%s -> %s", v.Pair.Describe(bench.Workload.Program), v.Summary())
+	}
+	for _, kp := range bench.Bugs {
+		if got, ok := verdictOf(vals, kp); !ok {
+			t.Errorf("bug not validated: %s", kp.Desc)
+		} else if got != trigger.VerdictHarmful {
+			t.Errorf("%s: verdict %s, want harmful", kp.Desc, got)
+		}
+	}
+	for _, kp := range bench.Benigns {
+		if got, ok := verdictOf(vals, kp); !ok {
+			t.Errorf("benign not validated: %s", kp.Desc)
+		} else if got != trigger.VerdictBenign {
+			t.Errorf("%s: verdict %s, want benign", kp.Desc, got)
+		}
+	}
+}
+
+func TestDistributedErrorManifestation(t *testing.T) {
+	// In the racing order, the failure must include an error on a node
+	// different from the root-cause accesses (ca1) — the paper's
+	// "distributed explicit error" pattern.
+	bench := BenchCA1011()
+	res, err := core.Detect(bench.Workload, core.Options{Seed: bench.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := core.ValidateAll(res, core.TriggerOptions{MaxSteps: 150_000})
+	kp := bench.Bugs[0] // tokenRing pair
+	a, b := kp.A, kp.B
+	if a > b {
+		a, b = b, a
+	}
+	key := fmt.Sprintf("%d|%d", a, b)
+	for _, v := range vals {
+		if v.Pair.StaticKey() != key {
+			continue
+		}
+		for _, at := range v.Attempts {
+			for _, f := range at.Result.Failures {
+				if f.Node == CA2 && f.Kind == rt.FailErrorLog {
+					return // distributed manifestation observed
+				}
+			}
+		}
+		t.Fatalf("no attempt produced an error on ca2: %s", v.Summary())
+	}
+	t.Fatal("tokenRing pair not validated")
+}

@@ -1,0 +1,364 @@
+// Package minihb is a miniature HBase: an HMaster coordinates region
+// servers (RS) through RPC and a ZooKeeper-style coordination service. The
+// region-open path reproduces paper Figure 3 step by step: the master adds
+// the region to regionsToOpen (W), spawns a thread that RPCs the region
+// server, whose handler enqueues an open event; the open handler updates
+// the region's znode, ZooKeeper notifies the master, and the master's watch
+// handler reads regionsToOpen (R). DCatch must chain eight HB rules to see
+// that W happens before R.
+//
+// Re-injected bugs:
+//
+//   - HB-4539 (split table & alter table ⇒ master crash, order violation):
+//     the split-report handler removes the parent region from the master's
+//     regions map concurrently with the alter-table handler reading it; if
+//     the remove wins, alter throws an uncatchable exception.
+//
+//   - HB-4729 (enable table & expire server ⇒ master crash, atomicity
+//     violation): the enable-table handler checks the /unassigned znode and
+//     then deletes it (must-succeed); the server-expiry handler deletes the
+//     same znode concurrently. The delete/delete interleaving crashes the
+//     master — DCatch sees znode operations as conflicting accesses.
+//
+// Extra material: a benign enable-status race, a benign region-state race
+// whose accesses share the region server's single RPC worker thread
+// (exercising trigger-placement rule 2), and pruned bookkeeping noise.
+package minihb
+
+import (
+	"dcatch/internal/ir"
+	"dcatch/internal/rt"
+	"dcatch/internal/subjects"
+)
+
+// Node names.
+const (
+	Client = "client"
+	Master = "master"
+	RS1    = "rs1"
+	RS2    = "rs2"
+)
+
+// Program builds the mini-HBase subject program.
+func Program() *ir.Program {
+	b := ir.NewProgram("minihb")
+
+	// --- HMaster ----------------------------------------------------------
+	hm := b.Func("HM.main")
+	hm.ZKWatch(ir.S("/region/"), "HM.onRegionZK")
+	hm.ZKWatch(ir.S("/servers/"), "HM.onServerZK")
+	hm.ZKCreate(ir.S("/unassigned/r1"), ir.S("t1"), "")
+	hm.Write("tableState", ir.S("t1"), ir.S("DISABLED"))
+	hm.Write("regions", ir.S("r2"), ir.S(RS1)) // table t2's region, online
+	hm.Write("regionMeta", ir.S("r2"), ir.S("v1"))
+	hm.Spawn("", "HM.monitor")
+
+	mon := b.Func("HM.monitor")
+	mon.Sleep(40)
+	mon.Try(func(t *ir.BlockBuilder) {
+		t.RPC("st", ir.S(RS1), "RS.status")
+		t.Print("rs1 status:", ir.L("st"))
+	}, "RPCError", "", func(c *ir.BlockBuilder) {
+		c.LogWarn("rs1 status probe failed")
+	})
+
+	et := b.RPC("HM.enableTable", "tbl")
+	et.Write("tableState", ir.L("tbl"), ir.S("ENABLING"))
+	et.Enqueue("exec", "HM.doEnable", ir.L("tbl"))
+	et.Return(ir.B(true))
+
+	de := b.Event("HM.doEnable", "tbl")
+	de.ZKGet(ir.S("/unassigned/r1"), "d", "present") // HB-4729 racing read
+	de.If(ir.L("present"), func(t *ir.BlockBuilder) {
+		t.ZKMustDelete(ir.S("/unassigned/r1")) // HB-4729 racing must-delete
+		t.Call("", "HM.assignRegion", ir.S("r1"), ir.S(RS1))
+	})
+	de.Write("tableState", ir.L("tbl"), ir.S("ENABLED"))
+	de.Write("enableFlag", ir.L("tbl"), ir.S("DONE")) // benign race
+
+	ar := b.Func("HM.assignRegion", "r", "server")
+	ar.Write("regionsToOpen", ir.Cat(ir.S("/region/"), ir.L("r")), ir.I(1)) // Fig. 3 W
+	ar.ZKCreate(ir.Cat(ir.S("/region/"), ir.L("r")), ir.S("OPENING"), "")
+	ar.Spawn("", "HM.openRegionCall", ir.L("r"), ir.L("server"))
+
+	orc := b.Func("HM.openRegionCall", "r", "server")
+	orc.Try(func(t *ir.BlockBuilder) {
+		t.RPC("ok", ir.L("server"), "RS.openRegion", ir.L("r"))
+	}, "RPCError", "", func(c *ir.BlockBuilder) {
+		c.LogWarn("openRegion RPC failed; server down")
+	})
+
+	rz := b.WatchHandler("HM.onRegionZK")
+	rz.If(ir.Eq(ir.L("data"), ir.S("OPENED")), func(t *ir.BlockBuilder) {
+		t.Read("regionsToOpen", ir.L("path"), "pending") // Fig. 3 R
+		t.If(ir.NotE(ir.IsNull(ir.L("pending"))), func(t2 *ir.BlockBuilder) {
+			t2.Remove("regionsToOpen", ir.L("path"))
+			t2.Write("onlineRegions", ir.L("path"), ir.I(1))
+		})
+		t.Read("ritCount", nil, "c")
+		t.If(ir.IsNull(ir.L("c")), func(t2 *ir.BlockBuilder) { t2.Assign("c", ir.I(0)) })
+		t.Write("ritCount", nil, ir.Add(ir.L("c"), ir.I(1)))
+	})
+
+	sz := b.WatchHandler("HM.onServerZK")
+	sz.If(ir.Eq(ir.L("kind"), ir.S("deleted")), func(t *ir.BlockBuilder) {
+		t.Enqueue("exec", "HM.expireServer", ir.L("path"))
+	})
+
+	ex := b.Event("HM.expireServer", "spath")
+	ex.LogInfo("expiring server", ir.L("spath"))
+	ex.ZKDelete(ir.S("/unassigned/r1"), "wasThere") // HB-4729 expiry delete
+	ex.Call("", "HM.assignRegion", ir.S("r1"), ir.S(RS2))
+
+	at := b.RPC("HM.alterTable", "tbl")
+	at.Enqueue("exec", "HM.doAlter", ir.L("tbl"))
+	at.Return(ir.B(true))
+
+	da := b.Event("HM.doAlter", "tbl")
+	// The master serializes metadata edits with a lock — but atomicity
+	// inside one critical section does not order the two handlers, so
+	// the HB-4539 race survives; the lock only matters to the triggering
+	// module's placement analysis (rule 3).
+	da.Sync("masterLock", nil, func(l *ir.BlockBuilder) {
+		l.Read("regions", ir.S("r2"), "loc") // HB-4539 racing read
+		l.If(ir.IsNull(ir.L("loc")), func(t *ir.BlockBuilder) {
+			t.Throw("RuntimeException", "region of altered table vanished")
+		})
+		l.Write("regionMeta", ir.S("r2"), ir.S("v2"))
+	})
+	da.Read("alterCount", nil, "ac")
+	da.If(ir.IsNull(ir.L("ac")), func(t *ir.BlockBuilder) { t.Assign("ac", ir.I(0)) })
+	da.Write("alterCount", nil, ir.Add(ir.L("ac"), ir.I(1)))
+
+	rs := b.RPC("HM.reportSplit", "r", "d1", "d2")
+	rs.Enqueue("exec", "HM.onSplit", ir.L("r"), ir.L("d1"), ir.L("d2"))
+	rs.Return(ir.B(true))
+
+	os := b.Event("HM.onSplit", "r", "d1", "d2")
+	os.Sync("masterLock", nil, func(l *ir.BlockBuilder) {
+		l.Remove("regions", ir.L("r")) // HB-4539 racing remove (parent offline)
+		l.Write("regions", ir.L("d1"), ir.S(RS1))
+		l.Write("regions", ir.L("d2"), ir.S(RS1))
+	})
+	os.Read("splitCount", nil, "c")
+	os.If(ir.IsNull(ir.L("c")), func(t *ir.BlockBuilder) { t.Assign("c", ir.I(0)) })
+	os.Write("splitCount", nil, ir.Add(ir.L("c"), ir.I(1)))
+
+	cs := b.RPC("HM.clusterStatus")
+	cs.Read("tableState", ir.S("t1"), "ts")
+	cs.Read("ritCount", nil, "rit")
+	cs.Read("splitCount", nil, "sc")
+	cs.Read("alterCount", nil, "acnt")
+	cs.Read("enableFlag", ir.S("t1"), "ef") // benign race partner
+	cs.If(ir.Eq(ir.L("ef"), ir.S("ERROR")), func(t *ir.BlockBuilder) {
+		t.LogError("table enable failed") // never reached
+	})
+	cs.Return(ir.Cat(ir.L("ts"), ir.S("/rit="), ir.L("rit")))
+
+	// --- Region servers -----------------------------------------------------
+	rm := b.Func("RS.main")
+	rm.ZKCreateEphemeral(ir.Cat(ir.S("/servers/"), ir.Self()), ir.S("alive"), "")
+	rm.Spawn("", "RS.compactor")
+
+	// Local compaction work: communication-unrelated memory traffic that
+	// only unselective tracing records (Table 8).
+	cp := b.Func("RS.compactor")
+	cp.Assign("k", ir.I(0))
+	cp.While(ir.Lt(ir.L("k"), ir.I(60)), func(t *ir.BlockBuilder) {
+		t.Read("storeFiles", ir.L("k"), "sf")
+		t.Write("storeFiles", ir.L("k"), ir.S("compacted"))
+		t.Assign("k", ir.Add(ir.L("k"), ir.I(1)))
+		t.Sleep(3)
+	})
+
+	ro := b.RPC("RS.openRegion", "r")
+	ro.Enqueue("open", "RS.doOpen", ir.L("r"))
+	ro.Return(ir.B(true))
+
+	do := b.Event("RS.doOpen", "r")
+	do.Write("localRegions", ir.L("r"), ir.S("OPEN"))
+	do.ZKSet(ir.Cat(ir.S("/region/"), ir.L("r")), ir.S("OPENED"), "") // Fig. 3 step 6
+	do.LogInfo("region opened", ir.L("r"))
+
+	sr := b.RPC("RS.splitRegion", "r")
+	sr.Write("regionState", ir.L("r"), ir.S("SPLITTING")) // rule-2 benign write
+	sr.Enqueue("open", "RS.doSplit", ir.L("r"))
+	sr.Return(ir.B(true))
+
+	ds := b.Event("RS.doSplit", "r")
+	ds.Sleep(40) // compaction work before the split is announced
+	ds.Write("regionState", ir.L("r"), ir.S("SPLIT"))
+	ds.Try(func(t *ir.BlockBuilder) {
+		t.RPC("ok", ir.S(Master), "HM.reportSplit", ir.L("r"),
+			ir.Cat(ir.L("r"), ir.S("a")), ir.Cat(ir.L("r"), ir.S("b")))
+	}, "RPCError", "", func(c *ir.BlockBuilder) {
+		c.LogWarn("reportSplit failed; master down")
+	})
+
+	sst := b.RPC("RS.status")
+	sst.Read("regionState", ir.S("r2"), "st") // rule-2 benign read
+	sst.If(ir.Eq(ir.L("st"), ir.S("CORRUPT")), func(t *ir.BlockBuilder) {
+		t.LogError("corrupt region state") // never reached
+	})
+	sst.Read("localRegions", ir.S("r1"), "lr")
+	sst.Return(ir.Cat(ir.S("r2="), ir.L("st"), ir.S(" r1="), ir.L("lr")))
+
+	// --- clients ------------------------------------------------------------
+	ce := b.Func("client.enableExpire")
+	ce.Sleep(20)
+	ce.Try(func(t *ir.BlockBuilder) {
+		t.RPC("ok", ir.S(Master), "HM.enableTable", ir.S("t1"))
+	}, "RPCError", "", func(c *ir.BlockBuilder) {
+		c.LogWarn("enableTable failed")
+	})
+	ce.Sleep(60)
+	ce.KillNode(ir.S(RS1)) // "expire server"
+	ce.Sleep(160)
+	ce.Try(func(t *ir.BlockBuilder) {
+		t.RPC("st", ir.S(Master), "HM.clusterStatus")
+		t.Print("status:", ir.L("st"))
+	}, "RPCError", "", func(c *ir.BlockBuilder) {
+		c.LogWarn("clusterStatus failed; master down")
+	})
+
+	ca := b.Func("client.splitAlter")
+	ca.Sleep(20)
+	ca.Try(func(t *ir.BlockBuilder) {
+		t.RPC("ok", ir.S(RS1), "RS.splitRegion", ir.S("r2"))
+	}, "RPCError", "", func(c *ir.BlockBuilder) {
+		c.LogWarn("splitRegion failed")
+	})
+	ca.Try(func(t *ir.BlockBuilder) {
+		t.RPC("ok2", ir.S(Master), "HM.alterTable", ir.S("t2"))
+	}, "RPCError", "", func(c *ir.BlockBuilder) {
+		c.LogWarn("alterTable failed")
+	})
+	ca.Sleep(200)
+	ca.Try(func(t *ir.BlockBuilder) {
+		t.RPC("st", ir.S(Master), "HM.clusterStatus")
+		t.Print("status:", ir.L("st"))
+	}, "RPCError", "", func(c *ir.BlockBuilder) {
+		c.LogWarn("clusterStatus failed; master down")
+	})
+
+	// Performance driver (not part of the functional benchmarks): enable
+	// the table, then churn regions with splits and status polls to scale
+	// traces for Tables 6-8.
+	cp2 := b.Func("client.perf", "n")
+	cp2.Try(func(t *ir.BlockBuilder) {
+		t.RPC("ok", ir.S(Master), "HM.enableTable", ir.S("t1"))
+	}, "RPCError", "", func(c *ir.BlockBuilder) {
+		c.LogWarn("enableTable failed")
+	})
+	cp2.Assign("i", ir.I(0))
+	cp2.While(ir.Lt(ir.L("i"), ir.L("n")), func(t *ir.BlockBuilder) {
+		t.Try(func(t2 *ir.BlockBuilder) {
+			t2.RPC("ok", ir.S(RS1), "RS.splitRegion", ir.Cat(ir.S("p"), ir.L("i")))
+		}, "RPCError", "", func(c *ir.BlockBuilder) {
+			c.LogWarn("splitRegion failed")
+		})
+		t.Try(func(t2 *ir.BlockBuilder) {
+			t2.RPC("st", ir.S(Master), "HM.clusterStatus")
+		}, "RPCError", "", func(c *ir.BlockBuilder) {
+			c.LogWarn("clusterStatus failed")
+		})
+		t.Sleep(6)
+		t.Assign("i", ir.Add(ir.L("i"), ir.I(1)))
+	})
+
+	return b.MustBuild()
+}
+
+// WorkloadPerf drives n split/status rounds after an enable — the scaled
+// configuration the performance tables use.
+func WorkloadPerf(n int) *rt.Workload {
+	w := workload("minihb-perf", "client.perf")
+	w.Nodes[0].Mains[0].Args = []ir.Value{ir.IntV(int64(n))}
+	return w
+}
+
+func workload(name, clientMain string) *rt.Workload {
+	return &rt.Workload{
+		Name:    name,
+		Program: Program(),
+		Nodes: []rt.NodeSpec{
+			{Name: Client, Mains: []rt.MainSpec{{Fn: clientMain}}},
+			// The master's executor pool is multi-threaded, like
+			// HBase's ExecutorService handlers.
+			{Name: Master, RPCWorkers: 2, Mains: []rt.MainSpec{{Fn: "HM.main"}},
+				Queues: []rt.QueueSpec{{Name: "exec", Consumers: 3}}},
+			// Region servers serve RPCs with a single handler thread
+			// (trigger-placement rule 2's configuration).
+			{Name: RS1, RPCWorkers: 1, Mains: []rt.MainSpec{{Fn: "RS.main"}},
+				Queues: []rt.QueueSpec{{Name: "open", Consumers: 1}}},
+			{Name: RS2, RPCWorkers: 1, Mains: []rt.MainSpec{{Fn: "RS.main"}},
+				Queues: []rt.QueueSpec{{Name: "open", Consumers: 1}}},
+		},
+	}
+}
+
+// WorkloadEnableExpire is HB-4729's "enable table & expire server".
+func WorkloadEnableExpire() *rt.Workload { return workload("minihb-4729", "client.enableExpire") }
+
+// WorkloadSplitAlter is HB-4539's "split table & alter table".
+func WorkloadSplitAlter() *rt.Workload { return workload("minihb-4539", "client.splitAlter") }
+
+// BenchHB4729 is the enable-table / server-expiry benchmark.
+func BenchHB4729() *subjects.Benchmark {
+	w := WorkloadEnableExpire()
+	p := w.Program
+	return &subjects.Benchmark{
+		ID:           "HB-4729",
+		System:       "HBase",
+		WorkloadDesc: "enable table & expire server",
+		Symptom:      "System Master Crash",
+		ErrorPattern: "DE",
+		RootCause:    "AV",
+		Workload:     w,
+		Seed:         1,
+		Bugs: []subjects.KnownPair{
+			{
+				Desc: "enable-table must-delete vs expiry delete of /unassigned/r1",
+				A:    subjects.ZKDeleteOf(p, "HM.doEnable"),
+				B:    subjects.ZKDeleteOf(p, "HM.expireServer"),
+			},
+		},
+		Benigns: []subjects.KnownPair{
+			{
+				Desc: "enableFlag write vs clusterStatus read",
+				A:    subjects.WriteOf(p, "HM.doEnable", "enableFlag"),
+				B:    subjects.ReadOf(p, "HM.clusterStatus", "enableFlag"),
+			},
+		},
+	}
+}
+
+// BenchHB4539 is the split-table / alter-table benchmark.
+func BenchHB4539() *subjects.Benchmark {
+	w := WorkloadSplitAlter()
+	p := w.Program
+	return &subjects.Benchmark{
+		ID:           "HB-4539",
+		System:       "HBase",
+		WorkloadDesc: "split table & alter table",
+		Symptom:      "System Master Crash",
+		ErrorPattern: "DE",
+		RootCause:    "OV",
+		Workload:     w,
+		Seed:         1,
+		Bugs: []subjects.KnownPair{
+			{
+				Desc: "alter-table regions read vs split-report regions remove",
+				A:    subjects.ReadOf(p, "HM.doAlter", "regions"),
+				B:    subjects.RemoveOf(p, "HM.onSplit", "regions"),
+			},
+		},
+		Benigns: []subjects.KnownPair{
+			{
+				Desc: "splitRegion regionState write vs RS.status read (shared RPC worker)",
+				A:    subjects.WriteOf(p, "RS.splitRegion", "regionState"),
+				B:    subjects.ReadOf(p, "RS.status", "regionState"),
+			},
+		},
+	}
+}

@@ -1,0 +1,295 @@
+// Package minimr is a miniature Hadoop MapReduce / YARN: a client submits a
+// job to a ResourceManager (RM), which assigns it to an ApplicationMaster
+// (AM); the AM launches a container on a NodeManager (NM); the container
+// pulls its task payload from the AM with a retried getTask RPC (paper
+// Fig. 1/2) and reports completion; the client then kills the job.
+//
+// Re-injected bugs:
+//
+//   - MR-3274 (hang, distributed hang, order violation): the AM's
+//     UnRegister event handler removes the job from jMap concurrently with
+//     the getTask RPC reading it — exactly Fig. 2. If the remove wins before
+//     the container's first successful fetch, the NM retry loop spins
+//     forever. The Register put racing the same read is *benign* thanks to
+//     the retry loop, and is recognized as pull-based custom
+//     synchronization by the loop-sync analysis.
+//
+//   - MR-4637 (job-master crash, local explicit error, order violation):
+//     the commitJob event handler reads the job's staging directory
+//     concurrently with the kill-path cleanup handler deleting it; if
+//     cleanup wins, commit throws an uncatchable RuntimeException and the
+//     AM crashes.
+//
+// The program also contains realistic benign races (progress reporting)
+// and no-impact noise races (heartbeat and task counters, job-state
+// bookkeeping) that exercise static pruning.
+package minimr
+
+import (
+	"dcatch/internal/ir"
+	"dcatch/internal/rt"
+	"dcatch/internal/subjects"
+)
+
+// Node names.
+const (
+	Client = "client"
+	RM     = "rm"
+	AM     = "am"
+	NM     = "nm"
+)
+
+// Program builds the mini-MapReduce subject program.
+func Program() *ir.Program {
+	b := ir.NewProgram("minimr")
+
+	// --- client ---------------------------------------------------------
+	// The client submits n jobs ("wordcount" runs), waits, then kills the
+	// first one mid-flight — the paper's "startup + wordcount (+ kill)".
+	cm := b.Func("client.main", "n")
+	cm.Assign("i", ir.I(0))
+	cm.While(ir.Lt(ir.L("i"), ir.L("n")), func(t *ir.BlockBuilder) {
+		t.RPC("ok", ir.S(RM), "RM.submitJob", ir.Cat(ir.S("job"), ir.L("i")))
+		t.Assign("i", ir.Add(ir.L("i"), ir.I(1)))
+	})
+	cm.Sleep(130)
+	// Wait for the running jobs (each container's work scales the wait).
+	cm.Assign("s", ir.I(0))
+	cm.While(ir.Lt(ir.L("s"), ir.L("n")), func(t *ir.BlockBuilder) {
+		t.Sleep(650)
+		t.Assign("s", ir.Add(ir.L("s"), ir.I(1)))
+	})
+	cm.Try(func(t *ir.BlockBuilder) {
+		t.RPC("prog", ir.S(AM), "AM.getProgress", ir.S("job0"))
+		t.Print("job progress:", ir.L("prog"))
+	}, "RPCError", "", func(c *ir.BlockBuilder) {
+		c.LogWarn("getProgress failed; AM unreachable")
+	})
+	cm.Sleep(40)
+	cm.Try(func(t *ir.BlockBuilder) {
+		t.RPC("killed", ir.S(AM), "AM.killJob", ir.S("job0"))
+	}, "RPCError", "", func(c *ir.BlockBuilder) {
+		c.LogWarn("killJob failed; AM unreachable")
+	})
+	cm.Sleep(20)
+	cm.RPC("st", ir.S(RM), "RM.status")
+	cm.Print("cluster status:", ir.L("st"))
+
+	// --- ResourceManager -------------------------------------------------
+	sj := b.RPC("RM.submitJob", "jid")
+	sj.Sync("jobsLock", nil, func(l *ir.BlockBuilder) {
+		l.Write("jobs", ir.L("jid"), ir.S("SUBMITTED"))
+	})
+	sj.Enqueue("dispatch", "RM.assignJob", ir.L("jid"))
+	sj.Return(ir.B(true))
+
+	aj := b.Event("RM.assignJob", "jid")
+	aj.Sync("jobsLock", nil, func(l *ir.BlockBuilder) {
+		l.Write("jobs", ir.L("jid"), ir.S("RUNNING"))
+	})
+	aj.Try(func(t *ir.BlockBuilder) {
+		t.RPC("ok", ir.S(AM), "AM.initJob", ir.L("jid"))
+	}, "RPCError", "", func(c *ir.BlockBuilder) {
+		c.LogWarn("initJob failed; AM unreachable")
+	})
+
+	hb := b.RPC("RM.heartbeat", "from")
+	hb.Read("hbCount", nil, "c")
+	hb.If(ir.IsNull(ir.L("c")), func(t *ir.BlockBuilder) { t.Assign("c", ir.I(0)) })
+	hb.Write("hbCount", nil, ir.Add(ir.L("c"), ir.I(1)))
+	hb.Write("lastHB", ir.L("from"), ir.I(1))
+	hb.Return(ir.B(true))
+
+	st := b.RPC("RM.status")
+	st.Read("hbCount", nil, "c")
+	st.Read("jobs", ir.S("job0"), "j")
+	st.Return(ir.Cat(ir.L("j"), ir.S("/hb="), ir.L("c")))
+
+	// --- ApplicationMaster -----------------------------------------------
+	ij := b.RPC("AM.initJob", "jid")
+	ij.Write("stagingDir", ir.L("jid"), ir.S("hdfs://staging/job1"))
+	ij.Write("jobState", ir.L("jid"), ir.S("RUNNING"))
+	ij.Enqueue("events", "AM.registerTask", ir.L("jid"))
+	ij.Try(func(t *ir.BlockBuilder) {
+		t.RPC("ok", ir.S(NM), "NM.launchContainer", ir.L("jid"))
+	}, "RPCError", "", func(c *ir.BlockBuilder) {
+		c.LogWarn("launchContainer failed; NM unreachable")
+	})
+	ij.Return(ir.B(true))
+
+	reg := b.Event("AM.registerTask", "jid")
+	reg.Write("jMap", ir.L("jid"), ir.S("task-payload")) // Register put (Fig. 2)
+	reg.Read("taskCount", nil, "c")
+	reg.If(ir.IsNull(ir.L("c")), func(t *ir.BlockBuilder) { t.Assign("c", ir.I(0)) })
+	reg.Write("taskCount", nil, ir.Add(ir.L("c"), ir.I(1)))
+
+	gt := b.RPC("AM.getTask", "jid")
+	gt.Read("jMap", ir.L("jid"), "task") // the racing read (Fig. 2)
+	gt.Return(ir.L("task"))
+
+	kj := b.RPC("AM.killJob", "jid")
+	kj.Write("jobState", ir.L("jid"), ir.S("KILLED"))
+	kj.Enqueue("events", "AM.unregisterTask", ir.L("jid"))
+	kj.Enqueue("committer", "AM.cleanupJob", ir.L("jid"))
+	kj.Return(ir.B(true))
+
+	unr := b.Event("AM.unregisterTask", "jid")
+	unr.Remove("jMap", ir.L("jid")) // UnRegister remove (Fig. 2)
+	unr.LogInfo("task unregistered")
+
+	cl := b.Event("AM.cleanupJob", "jid")
+	cl.Sleep(800)                        // deletion grace period
+	cl.Remove("stagingDir", ir.L("jid")) // MR-4637: deletes under commit
+	cl.LogInfo("staging cleaned")
+
+	td := b.RPC("AM.taskDone", "jid")
+	td.Enqueue("committer", "AM.commitJob", ir.L("jid"))
+	td.Return(ir.B(true))
+
+	cj := b.Event("AM.commitJob", "jid")
+	cj.Read("stagingDir", ir.L("jid"), "dir") // MR-4637 racing read
+	cj.If(ir.IsNull(ir.L("dir")), func(t *ir.BlockBuilder) {
+		t.Throw("RuntimeException", "staging dir gone during commit")
+	})
+	cj.Write("committed", ir.L("jid"), ir.I(1))
+	cj.LogInfo("job committed")
+
+	gp := b.RPC("AM.getProgress", "jid")
+	gp.Read("jobState", ir.L("jid"), "js")
+	gp.Read("taskCount", nil, "tc")
+	gp.Read("progress", ir.L("jid"), "p")
+	gp.If(ir.Eq(ir.L("p"), ir.S("-1")), func(t *ir.BlockBuilder) {
+		t.LogError("negative progress reported") // never true: benign race
+	})
+	gp.Return(ir.Cat(ir.L("js"), ir.S(":"), ir.L("tc"), ir.S(":"), ir.L("p")))
+
+	up := b.RPC("AM.updateProgress", "jid", "pct")
+	up.Write("progress", ir.L("jid"), ir.L("pct"))
+	up.Return(ir.B(true))
+
+	// --- NodeManager ------------------------------------------------------
+	lc := b.RPC("NM.launchContainer", "jid")
+	lc.Spawn("", "NM.container", ir.L("jid"))
+	lc.Return(ir.B(true))
+
+	co := b.Func("NM.container", "jid")
+	co.Assign("got", ir.NullE())
+	co.While(ir.IsNull(ir.L("got")), func(t *ir.BlockBuilder) {
+		t.RPC("got", ir.S(AM), "AM.getTask", ir.L("jid"))
+		t.Sleep(2)
+	})
+	co.Print("container running task", ir.L("got"))
+	// The actual "wordcount" work: local computation over task-private
+	// scratch state. NM.container performs no socket operations, so none
+	// of this is traced under DCatch's selective scope (§3.1.1) — it is
+	// exactly the communication-unrelated memory traffic that makes
+	// unselective tracing blow up (Table 8).
+	co.Call("", "NM.work", ir.L("jid"))
+	co.RPC("", ir.S(AM), "AM.updateProgress", ir.L("jid"), ir.S("100"))
+	co.RPC("", ir.S(AM), "AM.taskDone", ir.L("jid"))
+	co.Print("container done")
+
+	wk := b.Func("NM.work", "jid")
+	wk.Assign("k", ir.I(0))
+	wk.While(ir.Lt(ir.L("k"), ir.I(120)), func(t *ir.BlockBuilder) {
+		t.Read("scratch", ir.L("jid"), "acc")
+		t.If(ir.IsNull(ir.L("acc")), func(t2 *ir.BlockBuilder) { t2.Assign("acc", ir.I(0)) })
+		t.Write("scratch", ir.L("jid"), ir.Add(ir.L("acc"), ir.I(1)))
+		t.Assign("k", ir.Add(ir.L("k"), ir.I(1)))
+	})
+
+	hbl := b.Func("NM.heartbeatLoop")
+	hbl.Assign("i", ir.I(0))
+	hbl.While(ir.Lt(ir.L("i"), ir.I(3)), func(t *ir.BlockBuilder) {
+		t.RPC("", ir.S(RM), "RM.heartbeat", ir.Self())
+		t.Assign("i", ir.Add(ir.L("i"), ir.I(1)))
+		t.Sleep(12)
+	})
+
+	return b.MustBuild()
+}
+
+// Workload is the paper's "startup + wordcount" (submit a job, run it, kill
+// it before it finishes or right after).
+func Workload() *rt.Workload { return WorkloadN(1) }
+
+// WorkloadN runs n concurrent jobs; larger n scales traces for the
+// performance experiments (Tables 6 and 8).
+func WorkloadN(n int) *rt.Workload {
+	return &rt.Workload{
+		Name:    "minimr",
+		Program: Program(),
+		Nodes: []rt.NodeSpec{
+			{Name: Client, Mains: []rt.MainSpec{{Fn: "client.main", Args: []ir.Value{ir.IntV(int64(n))}}}},
+			{Name: RM, RPCWorkers: 2, Queues: []rt.QueueSpec{{Name: "dispatch", Consumers: 1}}},
+			// The AM mirrors Fig. 4: one pool per queue — a
+			// single-consumer job-event queue and a two-thread
+			// committer pool (MapReduce's CommitterEventHandler).
+			{Name: AM, RPCWorkers: 2, Queues: []rt.QueueSpec{
+				{Name: "events", Consumers: 1},
+				{Name: "committer", Consumers: 2},
+			}},
+			{Name: NM, RPCWorkers: 2, Mains: []rt.MainSpec{{Fn: "NM.heartbeatLoop"}}},
+		},
+	}
+}
+
+// BenchMR3274 is the Fig. 1/2 hang benchmark.
+func BenchMR3274() *subjects.Benchmark {
+	w := Workload()
+	p := w.Program
+	return &subjects.Benchmark{
+		ID:           "MR-3274",
+		System:       "Hadoop MapReduce",
+		WorkloadDesc: "startup + wordcount",
+		Symptom:      "Hang",
+		ErrorPattern: "DH",
+		RootCause:    "OV",
+		Workload:     w,
+		Seed:         1,
+		Bugs: []subjects.KnownPair{
+			{
+				Desc: "getTask RPC read vs UnRegister jMap.remove (Fig. 2)",
+				A:    subjects.ReadOf(p, "AM.getTask", "jMap"),
+				B:    subjects.RemoveOf(p, "AM.unregisterTask", "jMap"),
+			},
+		},
+		Benigns: []subjects.KnownPair{
+			{
+				Desc: "updateProgress write vs getProgress read",
+				A:    subjects.WriteOf(p, "AM.updateProgress", "progress"),
+				B:    subjects.ReadOf(p, "AM.getProgress", "progress"),
+			},
+		},
+	}
+}
+
+// BenchMR4637 is the job-master crash benchmark.
+func BenchMR4637() *subjects.Benchmark {
+	w := Workload()
+	p := w.Program
+	return &subjects.Benchmark{
+		ID:           "MR-4637",
+		System:       "Hadoop MapReduce",
+		WorkloadDesc: "startup + wordcount",
+		Symptom:      "Job Master Crash",
+		ErrorPattern: "LE",
+		RootCause:    "OV",
+		Workload:     w,
+		Seed:         1,
+		Bugs: []subjects.KnownPair{
+			{
+				Desc: "commitJob staging read vs cleanupJob staging delete",
+				A:    subjects.ReadOf(p, "AM.commitJob", "stagingDir"),
+				B:    subjects.RemoveOf(p, "AM.cleanupJob", "stagingDir"),
+			},
+		},
+		Benigns: []subjects.KnownPair{
+			{
+				Desc: "updateProgress write vs getProgress read",
+				A:    subjects.WriteOf(p, "AM.updateProgress", "progress"),
+				B:    subjects.ReadOf(p, "AM.getProgress", "progress"),
+			},
+		},
+	}
+}

@@ -1,0 +1,83 @@
+// Package subjects defines the benchmark abstraction shared by the four
+// mini distributed systems (paper Table 3): each benchmark bundles a
+// workload, the seed of a known-correct execution, and the ground-truth
+// DCbugs re-injected from the original reports, so tests and the benchmark
+// harness can score detection coverage and accuracy.
+package subjects
+
+import (
+	"fmt"
+
+	"dcatch/internal/detect"
+	"dcatch/internal/rt"
+)
+
+// KnownPair is a ground-truth access pair, identified by static IDs.
+type KnownPair struct {
+	Desc string
+	A, B int32
+}
+
+// Benchmark is one paper benchmark (Table 3 row).
+type Benchmark struct {
+	ID           string // e.g. "MR-3274"
+	System       string // e.g. "Hadoop MapReduce"
+	WorkloadDesc string // e.g. "startup + wordcount"
+	Symptom      string // e.g. "Hang"
+	ErrorPattern string // LE / LH / DE / DH (paper Table 3)
+	RootCause    string // OV / AV
+
+	Workload *rt.Workload
+	Seed     int64
+	MaxSteps int
+
+	// Bugs are the truly harmful ground-truth pairs (the root cause of
+	// the original report plus any extra injected harmful races).
+	Bugs []KnownPair
+	// Benigns are racy-but-harmless pairs expected to be detected and
+	// classified benign by the triggering module.
+	Benigns []KnownPair
+	// Serials are pairs ordered by custom synchronization DCatch's HB
+	// rules cannot see — expected detector false positives (§7.2).
+	Serials []KnownPair
+}
+
+// DetectedBugs counts how many ground-truth harmful pairs appear in a
+// report, and returns the missing ones.
+func (b *Benchmark) DetectedBugs(rep *detect.Report) (found int, missing []KnownPair) {
+	for _, kb := range b.Bugs {
+		if rep.HasStaticPair(kb.A, kb.B) {
+			found++
+		} else {
+			missing = append(missing, kb)
+		}
+	}
+	return found, missing
+}
+
+// KnownKind classifies a report pair against the ground truth: "bug",
+// "benign", "serial", or "" when unknown.
+func (b *Benchmark) KnownKind(p *detect.Pair) string {
+	match := func(ps []KnownPair) bool {
+		for _, kp := range ps {
+			a, b2 := kp.A, kp.B
+			if a > b2 {
+				a, b2 = b2, a
+			}
+			if p.StaticKey() == fmt.Sprintf("%d|%d", a, b2) {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case match(b.Bugs):
+		return "bug"
+	case match(b.Benigns):
+		return "benign"
+	case match(b.Serials):
+		return "serial"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,77 @@
+package subjects
+
+import (
+	"testing"
+
+	"dcatch/internal/detect"
+	"dcatch/internal/ir"
+	"dcatch/internal/rt"
+)
+
+func bench(t *testing.T) (*Benchmark, *ir.Program) {
+	t.Helper()
+	b := ir.NewProgram("p")
+	f := b.Func("f")
+	f.Write("x", nil, ir.I(1))
+	f.Read("x", nil, "v")
+	f.Write("y", ir.S("k"), ir.I(2))
+	f.Read("y", ir.S("k"), "w")
+	p := b.MustBuild()
+	w := &rt.Workload{Name: "w", Program: p, Nodes: []rt.NodeSpec{{Name: "n", Mains: []rt.MainSpec{{Fn: "f"}}}}}
+	return &Benchmark{
+		ID:       "T-1",
+		Workload: w,
+		Bugs:     []KnownPair{{Desc: "x", A: WriteOf(p, "f", "x"), B: ReadOf(p, "f", "x")}},
+		Benigns:  []KnownPair{{Desc: "y", A: WriteOf(p, "f", "y"), B: ReadOf(p, "f", "y")}},
+	}, p
+}
+
+func TestDetectedBugs(t *testing.T) {
+	bm, p := bench(t)
+	rep := &detect.Report{Pairs: []detect.Pair{
+		{AStatic: WriteOf(p, "f", "x"), BStatic: ReadOf(p, "f", "x")},
+	}}
+	found, missing := bm.DetectedBugs(rep)
+	if found != 1 || len(missing) != 0 {
+		t.Fatalf("found=%d missing=%v", found, missing)
+	}
+	found, missing = bm.DetectedBugs(&detect.Report{})
+	if found != 0 || len(missing) != 1 {
+		t.Fatalf("empty report: found=%d missing=%v", found, missing)
+	}
+}
+
+func TestKnownKind(t *testing.T) {
+	bm, p := bench(t)
+	bug := &detect.Pair{AStatic: ReadOf(p, "f", "x"), BStatic: WriteOf(p, "f", "x")} // swapped order
+	if bm.KnownKind(bug) != "bug" {
+		t.Fatalf("KnownKind(bug) = %q", bm.KnownKind(bug))
+	}
+	ben := &detect.Pair{AStatic: WriteOf(p, "f", "y"), BStatic: ReadOf(p, "f", "y")}
+	if bm.KnownKind(ben) != "benign" {
+		t.Fatalf("KnownKind(benign) = %q", bm.KnownKind(ben))
+	}
+	unk := &detect.Pair{AStatic: 999, BStatic: 1000}
+	if bm.KnownKind(unk) != "" {
+		t.Fatalf("KnownKind(unknown) = %q", bm.KnownKind(unk))
+	}
+}
+
+func TestResolverPanicsOnMissing(t *testing.T) {
+	_, p := bench(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustID did not panic for missing statement")
+		}
+	}()
+	RemoveOf(p, "f", "nonexistent")
+}
+
+func TestResolversFindStatements(t *testing.T) {
+	_, p := bench(t)
+	for _, id := range []int32{WriteOf(p, "f", "x"), ReadOf(p, "f", "x"), WriteOf(p, "f", "y")} {
+		if p.Stmt(int(id)) == nil {
+			t.Fatalf("resolver returned dangling ID %d", id)
+		}
+	}
+}

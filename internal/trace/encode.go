@@ -1,0 +1,278 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Binary trace format (version 1):
+//
+//	magic "DCTR" | u8 version
+//	uvarint len(program) | program bytes
+//	uvarint #queues | (str name, uvarint consumers)*
+//	string table: uvarint #strings | (uvarint len, bytes)*
+//	uvarint #records | record*
+//
+// Records reference node/obj/queue strings by table index and use varints
+// throughout; the measured on-disk size feeds Tables 6 and 8.
+
+const (
+	magic   = "DCTR"
+	version = 1
+)
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+// EncodeTo writes the trace in binary form.
+func (t *Trace) EncodeTo(out io.Writer) error {
+	w := bufio.NewWriter(out)
+	w.WriteString(magic)
+	w.WriteByte(version)
+	writeString(w, t.Program)
+
+	queues := make([]string, 0, len(t.QueueConsumers))
+	for q := range t.QueueConsumers {
+		queues = append(queues, q)
+	}
+	sort.Strings(queues)
+	writeUvarint(w, uint64(len(queues)))
+	for _, q := range queues {
+		writeString(w, q)
+		writeUvarint(w, uint64(t.QueueConsumers[q]))
+	}
+
+	// Build the string table over node/obj/queue fields.
+	index := map[string]uint64{}
+	var table []string
+	intern := func(s string) uint64 {
+		if i, ok := index[s]; ok {
+			return i
+		}
+		i := uint64(len(table))
+		index[s] = i
+		table = append(table, s)
+		return i
+	}
+	for i := range t.Recs {
+		intern(t.Recs[i].Node)
+		intern(t.Recs[i].Obj)
+		intern(t.Recs[i].Queue)
+	}
+	writeUvarint(w, uint64(len(table)))
+	for _, s := range table {
+		writeString(w, s)
+	}
+
+	writeUvarint(w, uint64(len(t.Recs)))
+	for i := range t.Recs {
+		r := &t.Recs[i]
+		w.WriteByte(byte(r.Kind))
+		w.WriteByte(byte(r.CtxKind))
+		writeUvarint(w, r.Seq)
+		writeUvarint(w, index[r.Node])
+		writeUvarint(w, uint64(uint32(r.Thread)))
+		writeUvarint(w, uint64(uint32(r.Ctx)))
+		writeUvarint(w, index[r.Obj])
+		writeUvarint(w, r.Op)
+		writeUvarint(w, r.WriterSeq)
+		// StaticID may be -1; bias by 1.
+		writeUvarint(w, uint64(uint32(r.StaticID+1)))
+		writeUvarint(w, uint64(len(r.Stack)))
+		for _, s := range r.Stack {
+			writeUvarint(w, uint64(uint32(s)))
+		}
+		writeUvarint(w, index[r.Queue])
+	}
+	return w.Flush()
+}
+
+// Encode returns the binary encoding of the trace.
+func (t *Trace) Encode() []byte {
+	var buf bytes.Buffer
+	if err := t.EncodeTo(&buf); err != nil {
+		// bytes.Buffer writes cannot fail.
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// EncodedSize returns the binary size in bytes (Tables 6 and 8).
+func (t *Trace) EncodedSize() int { return len(t.Encode()) }
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *reader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = fmt.Errorf("trace: corrupt varint: %w", err)
+	}
+	return v
+}
+
+func (d *reader) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<24 {
+		d.err = fmt.Errorf("trace: unreasonable string length %d", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = fmt.Errorf("trace: truncated string: %w", err)
+		return ""
+	}
+	return string(b)
+}
+
+func (d *reader) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.err = fmt.Errorf("trace: truncated: %w", err)
+	}
+	return b
+}
+
+// Decode parses a binary trace.
+func Decode(in io.Reader) (*Trace, error) {
+	d := &reader{r: bufio.NewReader(in)}
+	var m [4]byte
+	if _, err := io.ReadFull(d.r, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: missing magic: %w", err)
+	}
+	if string(m[:]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	if v := d.byte(); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	t := &Trace{QueueConsumers: map[string]int{}}
+	t.Program = d.str()
+
+	nq := d.uvarint()
+	for i := uint64(0); i < nq && d.err == nil; i++ {
+		q := d.str()
+		t.QueueConsumers[q] = int(d.uvarint())
+	}
+
+	nstr := d.uvarint()
+	if nstr > 1<<24 {
+		return nil, fmt.Errorf("trace: unreasonable string table size %d", nstr)
+	}
+	table := make([]string, nstr)
+	for i := range table {
+		table[i] = d.str()
+	}
+	lookup := func(i uint64) string {
+		if d.err != nil {
+			return ""
+		}
+		if i >= uint64(len(table)) {
+			d.err = fmt.Errorf("trace: string index %d out of range", i)
+			return ""
+		}
+		return table[i]
+	}
+
+	n := d.uvarint()
+	if n > 1<<28 {
+		return nil, fmt.Errorf("trace: unreasonable record count %d", n)
+	}
+	t.Recs = make([]Rec, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		var r Rec
+		r.Kind = Kind(d.byte())
+		r.CtxKind = CtxKind(d.byte())
+		r.Seq = d.uvarint()
+		r.Node = lookup(d.uvarint())
+		r.Thread = int32(uint32(d.uvarint()))
+		r.Ctx = int32(uint32(d.uvarint()))
+		r.Obj = lookup(d.uvarint())
+		r.Op = d.uvarint()
+		r.WriterSeq = d.uvarint()
+		r.StaticID = int32(uint32(d.uvarint())) - 1
+		ns := d.uvarint()
+		if ns > 1<<16 {
+			return nil, fmt.Errorf("trace: unreasonable stack depth %d", ns)
+		}
+		if ns > 0 {
+			r.Stack = make([]int32, ns)
+			for j := range r.Stack {
+				r.Stack[j] = int32(uint32(d.uvarint()))
+			}
+		}
+		r.Queue = lookup(d.uvarint())
+		if d.err == nil {
+			t.Recs = append(t.Recs, r)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return t, nil
+}
+
+// EncodeJSON writes the trace as JSON — the human-auditable export used by
+// dcatch-trace; the binary format remains the storage format.
+func (t *Trace) EncodeJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Program        string
+		QueueConsumers map[string]int
+		Records        []jsonRec
+	}{t.Program, t.QueueConsumers, jsonRecs(t.Recs)})
+}
+
+type jsonRec struct {
+	Seq       uint64
+	Node      string
+	Thread    int32
+	Ctx       int32
+	CtxKind   string
+	Kind      string
+	Obj       string `json:",omitempty"`
+	Op        uint64 `json:",omitempty"`
+	WriterSeq uint64 `json:",omitempty"`
+	StaticID  int32
+	Stack     []int32 `json:",omitempty"`
+	Queue     string  `json:",omitempty"`
+}
+
+func jsonRecs(recs []Rec) []jsonRec {
+	out := make([]jsonRec, len(recs))
+	for i := range recs {
+		r := &recs[i]
+		out[i] = jsonRec{
+			Seq: r.Seq, Node: r.Node, Thread: r.Thread, Ctx: r.Ctx,
+			CtxKind: r.CtxKind.String(), Kind: r.Kind.String(),
+			Obj: r.Obj, Op: r.Op, WriterSeq: r.WriterSeq,
+			StaticID: r.StaticID, Stack: r.Stack, Queue: r.Queue,
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package trigger
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Server is the paper's message-controller server (§5.1) as a stand-alone
+// TCP service, so the timing-manipulation infrastructure can also be used
+// as an independent testing framework: processes under test link the tiny
+// client API (Request/Confirm) and the server grants permissions in the
+// order under exploration.
+//
+// Line protocol (one command per line):
+//
+//	client → server: REQUEST <party>
+//	server → client: GRANT
+//	client → server: CONFIRM <party>
+//
+// The server waits for REQUESTs from both parties, grants the configured
+// first party, waits for its CONFIRM, then grants the second.
+type Server struct {
+	ln    net.Listener
+	first string // party granted first
+	other string
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrived  map[string]chan struct{} // party -> grant channel
+	confirms map[string]bool
+	log      []string
+	closed   bool
+}
+
+// NewServer starts a controller on addr (e.g. "127.0.0.1:0"); first and
+// second name the parties in grant order.
+func NewServer(addr, first, second string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trigger: listen: %w", err)
+	}
+	s := &Server{
+		ln:       ln,
+		first:    first,
+		other:    second,
+		arrived:  map[string]chan struct{}{},
+		confirms: map[string]bool{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.acceptLoop()
+	go s.scheduler()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+// Log returns the order of events the server observed.
+func (s *Server) Log() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.log...)
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			fmt.Fprintf(conn, "ERR malformed\n")
+			continue
+		}
+		cmd, party := fields[0], fields[1]
+		switch cmd {
+		case "REQUEST":
+			grant := make(chan struct{})
+			s.mu.Lock()
+			s.arrived[party] = grant
+			s.log = append(s.log, "request "+party)
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			<-grant
+			fmt.Fprintf(conn, "GRANT\n")
+		case "CONFIRM":
+			s.mu.Lock()
+			s.confirms[party] = true
+			s.log = append(s.log, "confirm "+party)
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			fmt.Fprintf(conn, "OK\n")
+		default:
+			fmt.Fprintf(conn, "ERR unknown command\n")
+		}
+	}
+}
+
+// scheduler implements the grant protocol: both requests, grant first,
+// confirm, grant second.
+func (s *Server) scheduler() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wait := func(pred func() bool) bool {
+		for !pred() && !s.closed {
+			s.cond.Wait()
+		}
+		return !s.closed
+	}
+	if !wait(func() bool { return s.arrived[s.first] != nil && s.arrived[s.other] != nil }) {
+		return
+	}
+	close(s.arrived[s.first])
+	s.log = append(s.log, "grant "+s.first)
+	if !wait(func() bool { return s.confirms[s.first] }) {
+		return
+	}
+	close(s.arrived[s.other])
+	s.log = append(s.log, "grant "+s.other)
+}
+
+// Client is the client-side API the system under test calls around the
+// operation whose timing is being manipulated (§5.1).
+type Client struct {
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+// Dial connects a party to the controller.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trigger: dial: %w", err)
+	}
+	return &Client{conn: conn, rd: bufio.NewReader(conn)}, nil
+}
+
+// Request asks permission to proceed and blocks until granted.
+func (c *Client) Request(party string) error {
+	if _, err := fmt.Fprintf(c.conn, "REQUEST %s\n", party); err != nil {
+		return err
+	}
+	line, err := c.rd.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(line) != "GRANT" {
+		return fmt.Errorf("trigger: unexpected response %q", strings.TrimSpace(line))
+	}
+	return nil
+}
+
+// Confirm reports that the operation completed.
+func (c *Client) Confirm(party string) error {
+	if _, err := fmt.Fprintf(c.conn, "CONFIRM %s\n", party); err != nil {
+		return err
+	}
+	line, err := c.rd.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(line) != "OK" {
+		return fmt.Errorf("trigger: unexpected response %q", strings.TrimSpace(line))
+	}
+	return nil
+}
+
+// Close disconnects the client.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,102 @@
+package trigger
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServerOrdersParties drives two fake distributed parties through the
+// TCP controller and checks the explored order.
+func TestServerOrdersParties(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var mu sync.Mutex
+	var order []string
+	run := func(party string) {
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			t.Errorf("%s: %v", party, err)
+			return
+		}
+		defer c.Close()
+		if err := c.Request(party); err != nil {
+			t.Errorf("%s request: %v", party, err)
+			return
+		}
+		mu.Lock()
+		order = append(order, party)
+		mu.Unlock()
+		if err := c.Confirm(party); err != nil {
+			t.Errorf("%s confirm: %v", party, err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); run("A") }()
+	go func() { defer wg.Done(); time.Sleep(10 * time.Millisecond); run("B") }()
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "B" || order[1] != "A" {
+		t.Fatalf("explored order = %v, want [B A]; server log %v", order, srv.Log())
+	}
+}
+
+func TestServerOppositeOrder(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	for _, party := range []string{"A", "B"} {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			if err := c.Request(p); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, p)
+			mu.Unlock()
+			c.Confirm(p)
+		}(party)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "A" {
+		t.Fatalf("order = %v, want A first", order)
+	}
+}
+
+func TestServerCloseUnblocksNothingBad(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr() == "" {
+		t.Fatal("no address")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := Dial(srv.Addr()); err == nil {
+		t.Fatal("dial succeeded after close")
+	}
+}

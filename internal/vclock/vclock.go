@@ -1,0 +1,67 @@
+// Package vclock implements vector clocks. DCatch §3.2.2 argues that
+// computing and comparing vector timestamps for every HB-graph vertex is too
+// slow — each event handler and RPC function contributes a dimension — and
+// uses per-vertex reachability bit arrays instead. This package exists to
+// reproduce that comparison (see BenchmarkReachability* at the repo root).
+package vclock
+
+import "fmt"
+
+// Clock is a sparse vector clock mapping a dimension (thread, event-handler
+// instance, or RPC instance identifier) to a logical timestamp.
+type Clock map[int]uint32
+
+// New returns an empty clock.
+func New() Clock { return Clock{} }
+
+// Tick increments the component for dimension d and returns the new value.
+func (c Clock) Tick(d int) uint32 {
+	c[d]++
+	return c[d]
+}
+
+// Get returns the component for dimension d (zero if absent).
+func (c Clock) Get(d int) uint32 { return c[d] }
+
+// Join sets c to the component-wise maximum of c and o.
+func (c Clock) Join(o Clock) {
+	for d, v := range o {
+		if v > c[d] {
+			c[d] = v
+		}
+	}
+}
+
+// Clone returns a copy of c.
+func (c Clock) Clone() Clock {
+	n := make(Clock, len(c))
+	for d, v := range c {
+		n[d] = v
+	}
+	return n
+}
+
+// LessEq reports whether c happens-before-or-equals o: every component of c
+// is <= the corresponding component of o.
+func (c Clock) LessEq(o Clock) bool {
+	for d, v := range c {
+		if v > o[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports whether c strictly happens before o.
+func (c Clock) Less(o Clock) bool {
+	return c.LessEq(o) && !o.LessEq(c)
+}
+
+// Concurrent reports whether neither clock happens before the other.
+func (c Clock) Concurrent(o Clock) bool {
+	return !c.LessEq(o) && !o.LessEq(c)
+}
+
+// String renders the clock deterministically enough for debugging (order of
+// dimensions follows map iteration; use for small clocks only).
+func (c Clock) String() string { return fmt.Sprintf("%v", map[int]uint32(c)) }

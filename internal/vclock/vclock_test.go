@@ -1,0 +1,134 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTickAndGet(t *testing.T) {
+	c := New()
+	if c.Get(1) != 0 {
+		t.Fatal("fresh clock non-zero")
+	}
+	if v := c.Tick(1); v != 1 {
+		t.Fatalf("first Tick = %d, want 1", v)
+	}
+	if v := c.Tick(1); v != 2 {
+		t.Fatalf("second Tick = %d, want 2", v)
+	}
+	if c.Get(2) != 0 {
+		t.Fatal("untouched dimension non-zero")
+	}
+}
+
+func TestOrderings(t *testing.T) {
+	a := Clock{1: 1}
+	b := Clock{1: 2}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatalf("expected a < b")
+	}
+	if a.Concurrent(b) {
+		t.Fatal("ordered clocks reported concurrent")
+	}
+	c := Clock{2: 1}
+	if !a.Concurrent(c) {
+		t.Fatal("independent clocks not concurrent")
+	}
+	if a.Less(a.Clone()) {
+		t.Fatal("clock strictly less than its copy")
+	}
+	if !a.LessEq(a.Clone()) {
+		t.Fatal("clock not LessEq its copy")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	a := Clock{1: 5, 2: 1}
+	b := Clock{2: 3, 4: 7}
+	a.Join(b)
+	want := Clock{1: 5, 2: 3, 4: 7}
+	for d, v := range want {
+		if a.Get(d) != v {
+			t.Fatalf("Join: dim %d = %d, want %d", d, a.Get(d), v)
+		}
+	}
+	if !b.LessEq(a) {
+		t.Fatal("operand not LessEq join result")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Clock{1: 1}
+	b := a.Clone()
+	b.Tick(1)
+	if a.Get(1) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func mk(xs []uint8) Clock {
+	c := New()
+	for d, v := range xs {
+		if v > 0 {
+			c[d] = uint32(v)
+		}
+	}
+	return c
+}
+
+// Property: exactly one of {a<b, b<a, a~b, a==b} holds.
+func TestQuickTrichotomy(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := mk(xs), mk(ys)
+		cnt := 0
+		if a.Less(b) {
+			cnt++
+		}
+		if b.Less(a) {
+			cnt++
+		}
+		if a.Concurrent(b) {
+			cnt++
+		}
+		if a.LessEq(b) && b.LessEq(a) { // equal
+			cnt++
+		}
+		return cnt == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: both operands are LessEq their join, and join is an upper bound
+// that equals component-wise max (idempotent, commutative).
+func TestQuickJoinUpperBound(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := mk(xs), mk(ys)
+		j := a.Clone()
+		j.Join(b)
+		if !a.LessEq(j) || !b.LessEq(j) {
+			return false
+		}
+		j2 := b.Clone()
+		j2.Join(a)
+		return j.LessEq(j2) && j2.LessEq(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LessEq is transitive.
+func TestQuickTransitive(t *testing.T) {
+	f := func(xs, ys, zs []uint8) bool {
+		a, b, c := mk(xs), mk(ys), mk(zs)
+		// Force a<=b<=c by joining.
+		b.Join(a)
+		c.Join(b)
+		return a.LessEq(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
