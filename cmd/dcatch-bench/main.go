@@ -1,23 +1,65 @@
 // Command dcatch-bench regenerates the DCatch paper's evaluation tables
-// (Tables 3–9) against the mini subject systems.
+// (Tables 3–9) against the mini subject systems, and measures the parallel
+// trace-analysis pipeline.
 //
 // Usage:
 //
 //	dcatch-bench              # all tables
 //	dcatch-bench -table 5     # one table
+//	dcatch-bench -bench-json  # measure the pipeline, write BENCH_pipeline.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"dcatch/internal/bench"
 )
 
 func main() {
-	table := flag.Int("table", 0, "render only this table (3-9); 0 = all")
+	var (
+		table     = flag.Int("table", 0, "render only this table (3-9); 0 = all")
+		benchJSON = flag.Bool("bench-json", false, "run the synthetic pipeline benchmark and write its JSON result")
+		jsonOut   = flag.String("bench-json-out", "BENCH_pipeline.json", "with -bench-json: output path")
+		records   = flag.Int("bench-records", 100_000, "with -bench-json: synthetic trace length")
+		chunkSize = flag.Int("bench-chunk", 8000, "with -bench-json: analysis window size in records")
+		parallel  = flag.Int("parallel", 0, "pipeline workers for -bench-json: 0 = all CPUs")
+	)
 	flag.Parse()
+
+	if *benchJSON {
+		p := *parallel
+		if p <= 0 {
+			p = runtime.GOMAXPROCS(0)
+		}
+		res, err := bench.RunPipelineBench(*records, *chunkSize, p, 42)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf, err := res.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("pipeline: %d records, window %d, %d workers: seq %.1fms (build %.1f + detect %.1f), par %.1fms, speedup %.2fx, peak reach %.1fMB, identical=%v\n",
+			res.Records, res.ChunkSize, res.Parallelism,
+			res.SeqBuildMs+res.SeqDetectMs, res.SeqBuildMs, res.SeqDetectMs,
+			res.ParBuildMs+res.ParDetectMs, res.Speedup,
+			float64(res.PeakReachBytes)/(1<<20), res.Identical)
+		fmt.Printf("result written to %s\n", *jsonOut)
+		if !res.Identical {
+			fmt.Fprintln(os.Stderr, "ERROR: parallel report diverged from sequential")
+			os.Exit(1)
+		}
+		return
+	}
 
 	var out string
 	var err error

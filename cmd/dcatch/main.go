@@ -33,6 +33,7 @@ func main() {
 		structure = flag.Bool("dump-structure", false, "print the cluster's concurrency structure (Fig. 4) and exit")
 		program   = flag.Bool("dump-program", false, "print the subject program listing and exit")
 		traceOut  = flag.String("trace-out", "", "write the binary trace to this file")
+		parallel  = flag.Int("parallel", 0, "trace-analysis workers: 0 = all CPUs, 1 = sequential reference path (reports are identical either way)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,8 @@ func main() {
 	}
 
 	opts := core.Options{Seed: b.Seed, MaxSteps: b.MaxSteps, FullTrace: *full}
+	opts.HB.Parallelism = *parallel
+	opts.Detect.Parallelism = *parallel
 	if *seed != 0 {
 		opts.Seed = *seed
 	}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"testing"
+
+	"dcatch/internal/detect"
+	"dcatch/internal/hb"
+)
+
+// TestParallelFindDeterminism asserts the determinism guarantee of the
+// parallel analysis pipeline: on every subject workload's trace, Find with
+// Parallelism 8 renders a byte-identical report to the sequential reference
+// path, on a graph whose closure was itself computed by the wavefront
+// schedule.
+func TestParallelFindDeterminism(t *testing.T) {
+	cache := map[string]bool{}
+	for _, b := range Benchmarks() {
+		if cache[dedupKey(b)] {
+			continue
+		}
+		cache[dedupKey(b)] = true
+		res, err := Detect(b)
+		if err != nil {
+			t.Fatalf("%s: %v", b.ID, err)
+		}
+		gSeq, err := hb.Build(res.Trace, hb.Config{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s: sequential build: %v", b.ID, err)
+		}
+		gPar, err := hb.Build(res.Trace, hb.Config{Parallelism: 8})
+		if err != nil {
+			t.Fatalf("%s: parallel build: %v", b.ID, err)
+		}
+		if gSeq.Edges() != gPar.Edges() || gSeq.Rounds != gPar.Rounds {
+			t.Fatalf("%s: graph shape diverged: edges %d vs %d, rounds %d vs %d",
+				b.ID, gSeq.Edges(), gPar.Edges(), gSeq.Rounds, gPar.Rounds)
+		}
+		seq := detect.Find(gSeq, detect.Options{Parallelism: 1})
+		par := detect.Find(gPar, detect.Options{Parallelism: 8})
+		sOut := seq.Format(b.Workload.Program)
+		pOut := par.Format(b.Workload.Program)
+		if sOut != pOut {
+			t.Errorf("%s: parallel report diverged\nsequential:\n%s\nparallel:\n%s", b.ID, sOut, pOut)
+		}
+	}
+}
+
+// TestParallelFindChunkedDeterminism asserts the same guarantee for the
+// chunked pipeline on a synthetic trace large enough to span many windows.
+func TestParallelFindChunkedDeterminism(t *testing.T) {
+	tr := SyntheticTrace(6000, 7)
+	seqChunks, err := hb.BuildChunked(tr, hb.ChunkConfig{
+		Base: hb.Config{Parallelism: 1}, ChunkSize: 800,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parChunks, err := hb.BuildChunked(tr, hb.ChunkConfig{
+		Base: hb.Config{Parallelism: 8}, ChunkSize: 800,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqChunks) != len(parChunks) {
+		t.Fatalf("chunk counts diverged: %d vs %d", len(seqChunks), len(parChunks))
+	}
+	seq := detect.FindChunked(seqChunks, detect.Options{Parallelism: 1})
+	par := detect.FindChunked(parChunks, detect.Options{Parallelism: 8})
+	if len(seq.Pairs) == 0 {
+		t.Fatal("synthetic trace produced no candidates; benchmark is vacuous")
+	}
+	if s, p := seq.Format(nil), par.Format(nil); s != p {
+		t.Errorf("chunked parallel report diverged\nsequential:\n%s\nparallel:\n%s", s, p)
+	}
+}
+
+// TestPipelineBenchRuns sanity-checks the -bench-json measurement path.
+func TestPipelineBenchRuns(t *testing.T) {
+	res, err := RunPipelineBench(4000, 800, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Error("parallel and sequential pipeline reports diverged")
+	}
+	if res.Candidates == 0 {
+		t.Error("pipeline bench found no candidates")
+	}
+	if res.PeakReachBytes <= 0 {
+		t.Error("no reachability memory accounted")
+	}
+	if _, err := res.JSON(); err != nil {
+		t.Errorf("JSON rendering failed: %v", err)
+	}
+}

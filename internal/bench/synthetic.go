@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dcatch/internal/detect"
+	"dcatch/internal/hb"
+	"dcatch/internal/trace"
+)
+
+// SyntheticTrace generates a deterministic, causally consistent trace of n
+// records for analysis-pipeline benchmarking: a 4-node cluster where worker
+// threads issue memory accesses over per-node object pools, open and close
+// cross-node causal pairs (fork/join, RPC, socket, ZooKeeper push), and feed
+// single-consumer event queues whose handlers exercise Rule-Eserial. Every
+// pair closure points forward in trace time, so the trace is a valid DCatch
+// run trace; the same (n, seed) always yields the same records.
+func SyntheticTrace(n int, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	c := trace.NewCollector("synthetic")
+
+	const nodes = 4
+	const threadsPerNode = 4 // thread 0 of each node is the event consumer
+	const objsPerNode = 48
+	nodeName := func(nd int) string { return fmt.Sprintf("n%d", nd) }
+	queueName := func(nd int) string { return fmt.Sprintf("n%d/q", nd) }
+	threadID := func(nd, t int) int32 { return int32(nd*threadsPerNode + t + 1) }
+	for nd := 0; nd < nodes; nd++ {
+		c.SetQueueInfo(queueName(nd), 1)
+	}
+
+	type pend struct {
+		kind trace.Kind
+		op   uint64
+	}
+	var open []pend
+	evPending := make([][]uint64, nodes) // created, not yet handled events
+	evRunning := make([]uint64, nodes)   // op of the in-flight handler, 0 = idle
+	evCtx := make([]int32, nodes)
+	nextOp := uint64(1)
+	nextCtx := int32(10_000)
+
+	for i := 0; i < n; i++ {
+		nd := rng.Intn(nodes)
+		t := 1 + rng.Intn(threadsPerNode-1)
+		r := trace.Rec{
+			Node: nodeName(nd), Thread: threadID(nd, t), Ctx: threadID(nd, t),
+			CtxKind:  trace.CtxRegular,
+			StaticID: int32(rng.Intn(200)),
+			Stack:    []int32{int32(rng.Intn(40))},
+		}
+		obj := func() string { return fmt.Sprintf("n%d/o%d", nd, rng.Intn(objsPerNode)) }
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // read
+			r.Kind = trace.KMemRead
+			r.Obj = obj()
+		case 4, 5, 6: // write
+			r.Kind = trace.KMemWrite
+			r.Obj = obj()
+		case 7: // open a causal pair
+			r.Kind = []trace.Kind{trace.KThreadCreate, trace.KRPCCreate, trace.KSockSend, trace.KZKUpdate}[rng.Intn(4)]
+			r.Op = nextOp
+			open = append(open, pend{r.Kind, nextOp})
+			nextOp++
+		case 8: // close a pending causal pair, possibly on another node
+			if len(open) == 0 {
+				r.Kind = trace.KMemRead
+				r.Obj = obj()
+				break
+			}
+			k := rng.Intn(len(open))
+			p := open[k]
+			open = append(open[:k], open[k+1:]...)
+			r.Op = p.op
+			switch p.kind {
+			case trace.KThreadCreate:
+				r.Kind = trace.KThreadBegin
+			case trace.KRPCCreate:
+				r.Kind = trace.KRPCBegin
+				r.Ctx = nextCtx
+				r.CtxKind = trace.CtxRPC
+				nextCtx++
+			case trace.KSockSend:
+				r.Kind = trace.KSockRecv
+				r.Ctx = nextCtx
+				r.CtxKind = trace.CtxMsg
+				nextCtx++
+			case trace.KZKUpdate:
+				r.Kind = trace.KZKPushed
+				r.Ctx = nextCtx
+				r.CtxKind = trace.CtxWatch
+				nextCtx++
+			}
+		default: // event-queue activity on this node's single consumer
+			switch {
+			case evRunning[nd] != 0: // finish the in-flight handler
+				r.Thread = threadID(nd, 0)
+				r.Ctx = evCtx[nd]
+				r.CtxKind = trace.CtxEvent
+				r.Kind = trace.KEventEnd
+				r.Op = evRunning[nd]
+				r.Queue = queueName(nd)
+				evRunning[nd] = 0
+			case len(evPending[nd]) > 0: // begin the oldest pending event
+				op := evPending[nd][0]
+				evPending[nd] = evPending[nd][1:]
+				r.Thread = threadID(nd, 0)
+				r.Ctx = nextCtx
+				r.CtxKind = trace.CtxEvent
+				r.Kind = trace.KEventBegin
+				r.Op = op
+				r.Queue = queueName(nd)
+				evRunning[nd] = op
+				evCtx[nd] = nextCtx
+				nextCtx++
+			default: // enqueue a new event from a worker thread
+				r.Kind = trace.KEventCreate
+				r.Op = nextOp
+				r.Queue = queueName(nd)
+				evPending[nd] = append(evPending[nd], nextOp)
+				nextOp++
+			}
+		}
+		c.Emit(r)
+	}
+	return c.Trace()
+}
+
+// PipelineBenchResult is one synthetic trace-analysis measurement,
+// serialized by cmd/dcatch-bench -bench-json so the perf trajectory is
+// tracked across PRs (BENCH_pipeline.json).
+type PipelineBenchResult struct {
+	Records     int `json:"records"`
+	ChunkSize   int `json:"chunk_size"`
+	Parallelism int `json:"parallelism"`
+
+	// Wall-clock milliseconds for the chunked pipeline: HB graph build +
+	// reachability closure (Build) and candidate detection (Detect).
+	SeqBuildMs  float64 `json:"seq_build_ms"`
+	SeqDetectMs float64 `json:"seq_detect_ms"`
+	ParBuildMs  float64 `json:"par_build_ms"`
+	ParDetectMs float64 `json:"par_detect_ms"`
+
+	// Speedup is sequential / parallel total wall time.
+	Speedup float64 `json:"speedup"`
+
+	// PeakReachBytes is the largest per-window reachability footprint.
+	PeakReachBytes int64 `json:"peak_reach_bytes"`
+
+	// Candidates is the merged callstack-pair count; Identical asserts the
+	// parallel report rendered byte-identically to the sequential one.
+	Candidates int  `json:"candidates"`
+	Identical  bool `json:"reports_identical"`
+}
+
+// RunPipelineBench measures the chunked analysis pipeline (hb.BuildChunked +
+// detect.FindChunked) on a SyntheticTrace at Parallelism 1 and at the given
+// parallelism, and cross-checks that both render identical reports.
+func RunPipelineBench(records, chunkSize, parallelism int, seed int64) (*PipelineBenchResult, error) {
+	tr := SyntheticTrace(records, seed)
+	run := func(p int) (buildMs, detectMs float64, peak int64, rep *detect.Report, err error) {
+		t0 := time.Now()
+		chunks, err := hb.BuildChunked(tr, hb.ChunkConfig{
+			Base:      hb.Config{Parallelism: p},
+			ChunkSize: chunkSize,
+		})
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		buildMs = float64(time.Since(t0).Microseconds()) / 1000
+		t0 = time.Now()
+		rep = detect.FindChunked(chunks, detect.Options{Parallelism: p})
+		detectMs = float64(time.Since(t0).Microseconds()) / 1000
+		return buildMs, detectMs, hb.ChunkedMemBytes(chunks), rep, nil
+	}
+
+	res := &PipelineBenchResult{Records: records, ChunkSize: chunkSize, Parallelism: parallelism}
+	var seqRep, parRep *detect.Report
+	var err error
+	if res.SeqBuildMs, res.SeqDetectMs, res.PeakReachBytes, seqRep, err = run(1); err != nil {
+		return nil, fmt.Errorf("bench: sequential pipeline: %w", err)
+	}
+	if res.ParBuildMs, res.ParDetectMs, _, parRep, err = run(parallelism); err != nil {
+		return nil, fmt.Errorf("bench: parallel pipeline: %w", err)
+	}
+	res.Candidates = parRep.CallstackCount()
+	res.Identical = seqRep.Format(nil) == parRep.Format(nil)
+	if par := res.ParBuildMs + res.ParDetectMs; par > 0 {
+		res.Speedup = (res.SeqBuildMs + res.SeqDetectMs) / par
+	}
+	return res, nil
+}
+
+// JSON renders the result for BENCH_pipeline.json.
+func (r *PipelineBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

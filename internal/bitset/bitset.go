@@ -57,6 +57,13 @@ func (s *Set) Has(i int) bool {
 	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
 }
 
+// HasUnchecked reports whether bit i is set, skipping the bounds check. The
+// caller must guarantee 0 <= i < Cap(); used by hot query loops that have
+// already validated their indices (hb.Graph.ConcurrentOrdered).
+func (s *Set) HasUnchecked(i int) bool {
+	return s.words[i>>6]&(1<<uint(i&(wordBits-1))) != 0
+}
+
 // Or sets s to the union of s and t. The sets must have equal capacity.
 func (s *Set) Or(t *Set) {
 	if t == nil {
@@ -67,6 +74,32 @@ func (s *Set) Or(t *Set) {
 	}
 	for i, w := range t.words {
 		s.words[i] |= w
+	}
+}
+
+// OrAll sets s to the union of s and every set in ts, in one word-major
+// pass: for each word index the sources are folded into a register before a
+// single store, which touches s.words once instead of len(ts) times. All
+// sets must be non-nil and have equal capacity.
+func (s *Set) OrAll(ts []*Set) {
+	for _, t := range ts {
+		if t.n != s.n {
+			panic(fmt.Sprintf("bitset: OrAll capacity mismatch %d != %d", s.n, t.n))
+		}
+	}
+	switch len(ts) {
+	case 0:
+		return
+	case 1:
+		s.Or(ts[0])
+		return
+	}
+	for i := range s.words {
+		w := s.words[i]
+		for _, t := range ts {
+			w |= t.words[i]
+		}
+		s.words[i] = w
 	}
 }
 

@@ -133,6 +133,50 @@ func TestForEachOrder(t *testing.T) {
 	}
 }
 
+func TestHasUnchecked(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		s.Add(i)
+	}
+	for i := 0; i < 130; i++ {
+		if s.Has(i) != s.HasUnchecked(i) {
+			t.Fatalf("HasUnchecked disagrees with Has at %d", i)
+		}
+	}
+}
+
+func TestOrAll(t *testing.T) {
+	mk := func(bits ...int) *Set {
+		s := New(200)
+		for _, b := range bits {
+			s.Add(b)
+		}
+		return s
+	}
+	s := mk(1)
+	s.OrAll([]*Set{mk(2, 64), mk(3, 199), mk()})
+	want := mk(1, 2, 3, 64, 199)
+	if !s.Equal(want) {
+		t.Fatalf("OrAll = %s, want %s", s, want)
+	}
+	// Degenerate arities.
+	s2 := mk(5)
+	s2.OrAll(nil)
+	if !s2.Equal(mk(5)) {
+		t.Fatal("OrAll(nil) mutated the set")
+	}
+	s2.OrAll([]*Set{mk(6)})
+	if !s2.Equal(mk(5, 6)) {
+		t.Fatal("OrAll single-source wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity mismatch not detected")
+		}
+	}()
+	s2.OrAll([]*Set{New(10)})
+}
+
 func TestString(t *testing.T) {
 	s := New(10)
 	s.Add(2)

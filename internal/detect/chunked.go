@@ -1,6 +1,11 @@
 package detect
 
-import "dcatch/internal/hb"
+import (
+	"sync"
+	"sync/atomic"
+
+	"dcatch/internal/hb"
+)
 
 // FindChunked runs detection over a chunked HB analysis (hb.BuildChunked)
 // and merges the per-window reports: the memory-bounded fallback for traces
@@ -8,11 +13,46 @@ import "dcatch/internal/hb"
 // pairs spanning more than one window are missed — the approach's
 // documented trade-off — but a pair concurrent within some window is a true
 // candidate of the full graph as well.
+//
+// Windows are scanned independently — concurrently when Options.Parallelism
+// is not 1 — and merged in window order, so the report is identical to the
+// sequential path's: the first window containing a callstack pair provides
+// its representative records and Dynamic counts are summed.
 func FindChunked(chunks []hb.Chunk, opts Options) *Report {
+	reps := make([]*Report, len(chunks))
+	if p := opts.workers(); p > 1 && len(chunks) > 1 {
+		if p > len(chunks) {
+			p = len(chunks)
+		}
+		// Window-level workers subsume the per-window parallelism.
+		inner := opts
+		inner.Parallelism = 1
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < p; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(chunks) {
+						return
+					}
+					reps[i] = Find(chunks[i].Graph, inner)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range chunks {
+			reps[i] = Find(chunks[i].Graph, opts)
+		}
+	}
+
 	merged := map[string]*Pair{}
 	var order []string
-	for _, ch := range chunks {
-		rep := Find(ch.Graph, opts)
+	for ci, ch := range chunks {
+		rep := reps[ci]
 		for i := range rep.Pairs {
 			p := rep.Pairs[i]
 			// Rebase representative record indices onto the full

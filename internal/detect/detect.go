@@ -7,8 +7,11 @@ package detect
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"dcatch/internal/hb"
 	"dcatch/internal/ir"
@@ -30,6 +33,21 @@ type Pair struct {
 	Dynamic int
 }
 
+// packStatic packs the unordered static pair (a, b) into a single map key:
+// smaller ID in the high word. Replaces the fmt.Sprintf("%d|%d") string
+// keys the hot paths used to build on every lookup.
+func packStatic(a, b int32) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return int64(uint32(a))<<32 | int64(uint32(b))
+}
+
+// unpackStatic is the inverse of packStatic.
+func unpackStatic(k int64) (a, b int32) {
+	return int32(uint32(k >> 32)), int32(uint32(k))
+}
+
 // StaticKey returns the unordered static-instruction pair identity.
 func (p *Pair) StaticKey() string {
 	a, b := p.AStatic, p.BStatic
@@ -45,7 +63,10 @@ func (p *Pair) Describe(prog *ir.Program) string {
 }
 
 func describeSide(prog *ir.Program, static int32, stack string) string {
-	st := prog.Stmt(int(static))
+	var st ir.Stmt
+	if prog != nil {
+		st = prog.Stmt(int(static))
+	}
 	if st == nil {
 		return fmt.Sprintf("stmt#%d", static)
 	}
@@ -55,29 +76,43 @@ func describeSide(prog *ir.Program, static int32, stack string) string {
 // Report is the set of candidates found in one trace.
 type Report struct {
 	Pairs []Pair
+
+	// staticSet caches the packed static-pair identities of Pairs; it is
+	// rebuilt whenever len(Pairs) changes (reports only ever grow, via
+	// core.DetectMulti-style appends).
+	staticSet map[int64]struct{}
+	staticLen int
+}
+
+// statics returns the packed static-pair set, computing it at most once per
+// Pairs length. StaticCount, StaticKeys and HasStaticPair used to rebuild
+// this set — with string keys — on every call; benchmark loops hit them per
+// report pair.
+func (r *Report) statics() map[int64]struct{} {
+	if r.staticSet == nil || r.staticLen != len(r.Pairs) {
+		set := make(map[int64]struct{}, len(r.Pairs))
+		for i := range r.Pairs {
+			set[packStatic(r.Pairs[i].AStatic, r.Pairs[i].BStatic)] = struct{}{}
+		}
+		r.staticSet = set
+		r.staticLen = len(r.Pairs)
+	}
+	return r.staticSet
 }
 
 // StaticCount returns the number of unique static-instruction pairs.
-func (r *Report) StaticCount() int {
-	set := map[string]bool{}
-	for i := range r.Pairs {
-		set[r.Pairs[i].StaticKey()] = true
-	}
-	return len(set)
-}
+func (r *Report) StaticCount() int { return len(r.statics()) }
 
 // CallstackCount returns the number of unique callstack pairs.
 func (r *Report) CallstackCount() int { return len(r.Pairs) }
 
 // StaticKeys returns the sorted unique static pair keys.
 func (r *Report) StaticKeys() []string {
-	set := map[string]bool{}
-	for i := range r.Pairs {
-		set[r.Pairs[i].StaticKey()] = true
-	}
+	set := r.statics()
 	keys := make([]string, 0, len(set))
 	for k := range set {
-		keys = append(keys, k)
+		a, b := unpackStatic(k)
+		keys = append(keys, fmt.Sprintf("%d|%d", a, b))
 	}
 	sort.Strings(keys)
 	return keys
@@ -86,16 +121,8 @@ func (r *Report) StaticKeys() []string {
 // HasStaticPair reports whether the report contains the unordered static
 // pair (a, b).
 func (r *Report) HasStaticPair(a, b int32) bool {
-	if a > b {
-		a, b = b, a
-	}
-	key := fmt.Sprintf("%d|%d", a, b)
-	for i := range r.Pairs {
-		if r.Pairs[i].StaticKey() == key {
-			return true
-		}
-	}
-	return false
+	_, ok := r.statics()[packStatic(a, b)]
+	return ok
 }
 
 // Options tunes detection.
@@ -108,9 +135,72 @@ type Options struct {
 	// SuppressPull removes candidates matching the pull-synchronization
 	// pairs the HB analysis discovered (the "LP" stage of Table 5).
 	SuppressPull bool
+
+	// Parallelism is the worker count for the per-location pair scans:
+	// 0 means runtime.GOMAXPROCS(0), 1 keeps the sequential reference
+	// path. Location groups are independent, and the merge is ordered by
+	// the sorted object list, so the report is byte-identical at any
+	// setting.
+	Parallelism int
+}
+
+func (o Options) workers() int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return p
 }
 
 const defaultMaxGroup = 1500
+
+// foundPair accumulates one callstack pair during a scan. firstObj is the
+// index (into the sorted object list) of the object where the pair was
+// first seen, which lets the parallel merge pick the same representative
+// record pair the sequential scan would.
+type foundPair struct {
+	pair     Pair
+	firstObj int
+}
+
+// scanObject runs the quadratic pair scan over one location's access
+// records (ascending trace indices), folding results into found.
+func scanObject(g *hb.Graph, obj string, idxs []int, objIdx, maxGroup int, pull map[int64]bool, found map[string]*foundPair) {
+	if len(idxs) > maxGroup {
+		idxs = subsample(g.Tr, idxs, maxGroup)
+	}
+	recs := g.Tr.Recs
+	for x := 0; x < len(idxs); x++ {
+		i := idxs[x]
+		ri := &recs[i]
+		riWrite := ri.IsWrite()
+		for y := x + 1; y < len(idxs); y++ {
+			j := idxs[y]
+			rj := &recs[j]
+			if !riWrite && !rj.IsWrite() {
+				continue
+			}
+			// Same program-order context: ordered by Pnreg/Preg.
+			if ri.Thread == rj.Thread && ri.Ctx == rj.Ctx {
+				continue
+			}
+			if !g.ConcurrentOrdered(i, j) {
+				continue
+			}
+			p := makePair(obj, ri, rj, i, j)
+			if pull != nil && pull[packStatic(p.AStatic, p.BStatic)] {
+				continue
+			}
+			key := p.AStack + "||" + p.BStack
+			if ex, ok := found[key]; ok {
+				ex.pair.Dynamic++
+			} else {
+				p.Dynamic = 1
+				found[key] = &foundPair{pair: p, firstObj: objIdx}
+			}
+		}
+	}
+}
 
 // Find enumerates concurrent conflicting access pairs.
 func Find(g *hb.Graph, opts Options) *Report {
@@ -126,25 +216,21 @@ func Find(g *hb.Graph, opts Options) *Report {
 			groups[r.Obj] = append(groups[r.Obj], i)
 		}
 	}
-	pull := map[string]bool{}
+	var pull map[int64]bool
 	if opts.SuppressPull {
+		pull = map[int64]bool{}
 		for _, pp := range g.PullPairs {
-			a, b := pp.ReadStatic, pp.WriteStatic
-			if a > b {
-				a, b = b, a
-			}
-			pull[fmt.Sprintf("%d|%d", a, b)] = true
+			pull[packStatic(pp.ReadStatic, pp.WriteStatic)] = true
 		}
 	}
 
-	found := map[string]*Pair{}
+	// Sorted list of the locations worth scanning: at least one write and
+	// at least two accesses.
 	objs := make([]string, 0, len(groups))
-	for o := range groups {
-		objs = append(objs, o)
-	}
-	sort.Strings(objs)
-	for _, obj := range objs {
-		idxs := groups[obj]
+	for o, idxs := range groups {
+		if len(idxs) < 2 {
+			continue
+		}
 		hasWrite := false
 		for _, i := range idxs {
 			if g.Tr.Recs[i].IsWrite() {
@@ -152,41 +238,22 @@ func Find(g *hb.Graph, opts Options) *Report {
 				break
 			}
 		}
-		if !hasWrite || len(idxs) < 2 {
-			continue
-		}
-		if len(idxs) > maxGroup {
-			idxs = subsample(g.Tr, idxs, maxGroup)
-		}
-		for x := 0; x < len(idxs); x++ {
-			for y := x + 1; y < len(idxs); y++ {
-				i, j := idxs[x], idxs[y]
-				ri, rj := &g.Tr.Recs[i], &g.Tr.Recs[j]
-				if !ri.IsWrite() && !rj.IsWrite() {
-					continue
-				}
-				// Same program-order context: ordered by Pnreg/Preg.
-				if ri.Thread == rj.Thread && ri.Ctx == rj.Ctx {
-					continue
-				}
-				if !g.Concurrent(i, j) {
-					continue
-				}
-				p := makePair(obj, ri, rj, i, j)
-				if opts.SuppressPull && pull[p.StaticKey()] {
-					continue
-				}
-				key := p.AStack + "||" + p.BStack
-				if ex, ok := found[key]; ok {
-					ex.Dynamic++
-				} else {
-					pc := p
-					pc.Dynamic = 1
-					found[key] = &pc
-				}
-			}
+		if hasWrite {
+			objs = append(objs, o)
 		}
 	}
+	sort.Strings(objs)
+
+	var found map[string]*foundPair
+	if p := opts.workers(); p > 1 && len(objs) > 1 {
+		found = findSharded(g, objs, groups, maxGroup, pull, p)
+	} else {
+		found = map[string]*foundPair{}
+		for oi, obj := range objs {
+			scanObject(g, obj, groups[obj], oi, maxGroup, pull, found)
+		}
+	}
+
 	rep := &Report{}
 	keys := make([]string, 0, len(found))
 	for k := range found {
@@ -194,9 +261,59 @@ func Find(g *hb.Graph, opts Options) *Report {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		rep.Pairs = append(rep.Pairs, *found[k])
+		rep.Pairs = append(rep.Pairs, found[k].pair)
 	}
 	return rep
+}
+
+// findSharded distributes the per-location scans across p workers pulling
+// object indices from a shared counter, then merges the per-worker maps.
+// The merge is deterministic: for each callstack key the representative
+// pair comes from the lowest object index that produced it — exactly the
+// occurrence the sequential scan (which walks objects in sorted order)
+// would have kept — and Dynamic counts are summed.
+func findSharded(g *hb.Graph, objs []string, groups map[string][]int, maxGroup int, pull map[int64]bool, p int) map[string]*foundPair {
+	if p > len(objs) {
+		p = len(objs)
+	}
+	partial := make([]map[string]*foundPair, p)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := map[string]*foundPair{}
+			partial[w] = mine
+			for {
+				oi := int(next.Add(1)) - 1
+				if oi >= len(objs) {
+					return
+				}
+				scanObject(g, objs[oi], groups[objs[oi]], oi, maxGroup, pull, mine)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	merged := map[string]*foundPair{}
+	for _, m := range partial {
+		for k, fp := range m {
+			ex, ok := merged[k]
+			if !ok {
+				cp := *fp
+				merged[k] = &cp
+				continue
+			}
+			total := ex.pair.Dynamic + fp.pair.Dynamic
+			if fp.firstObj < ex.firstObj {
+				ex.pair = fp.pair
+				ex.firstObj = fp.firstObj
+			}
+			ex.pair.Dynamic = total
+		}
+	}
+	return merged
 }
 
 func makePair(obj string, ri, rj *trace.Rec, i, j int) Pair {
@@ -220,8 +337,12 @@ type side struct {
 }
 
 // subsample keeps a bounded, deterministic selection of a hot location's
-// accesses: the first and last access of every (thread, ctx) context, then
-// pads evenly up to max.
+// accesses: the first and last access of every (thread, ctx) context are
+// always kept (a context's boundary accesses are where cross-context races
+// live), then padding is added evenly from the remaining accesses until max
+// is reached. Only the padding is ever trimmed; if the mandatory boundary
+// accesses alone exceed max, all of them are still returned (the result is
+// bounded by 2x the context count).
 func subsample(tr *trace.Trace, idxs []int, max int) []int {
 	type ck struct {
 		th  int32
@@ -244,10 +365,13 @@ func subsample(tr *trace.Trace, idxs []int, max int) []int {
 		keep[fl[0]] = true
 		keep[fl[1]] = true
 	}
-	if len(keep) < max {
-		stride := len(idxs)/(max-len(keep)) + 1
-		for x := 0; x < len(idxs); x += stride {
-			keep[idxs[x]] = true
+	if budget := max - len(keep); budget > 0 {
+		stride := len(idxs)/budget + 1
+		for x := 0; x < len(idxs) && budget > 0; x += stride {
+			if !keep[idxs[x]] {
+				keep[idxs[x]] = true
+				budget--
+			}
 		}
 	}
 	out := make([]int, 0, len(keep))
@@ -255,9 +379,6 @@ func subsample(tr *trace.Trace, idxs []int, max int) []int {
 		if keep[i] {
 			out = append(out, i)
 		}
-	}
-	if len(out) > max {
-		out = out[:max]
 	}
 	return out
 }

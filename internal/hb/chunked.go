@@ -2,6 +2,9 @@ package hb
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"dcatch/internal/trace"
 )
@@ -42,6 +45,14 @@ type Chunk struct {
 
 // BuildChunked analyzes the trace window by window. Every window must fit
 // the per-window memory budget; window construction failures abort.
+//
+// Windows are fully independent (each gets its own record copy, Graph, and
+// MemBudget), so with Base.Parallelism != 1 they are built concurrently by
+// up to that many workers; each window's own closure then runs sequentially
+// to keep the total worker count at the configured level. The resulting
+// chunk list — and any construction error — is identical to the sequential
+// path's: chunks are placed by window index and the lowest-index failure is
+// reported.
 func BuildChunked(tr *trace.Trace, cfg ChunkConfig) ([]Chunk, error) {
 	if cfg.ChunkSize <= 0 {
 		return nil, fmt.Errorf("hb: chunk size must be positive, got %d", cfg.ChunkSize)
@@ -55,33 +66,85 @@ func BuildChunked(tr *trace.Trace, cfg ChunkConfig) ([]Chunk, error) {
 	}
 	stride := cfg.ChunkSize - overlap
 
-	var chunks []Chunk
+	type window struct{ start, end int }
+	var windows []window
 	n := len(tr.Recs)
 	for start := 0; ; start += stride {
 		end := start + cfg.ChunkSize
 		if end > n {
 			end = n
 		}
-		sub := &trace.Trace{
-			Program:        tr.Program,
-			Recs:           make([]trace.Rec, end-start),
-			QueueConsumers: tr.QueueConsumers,
-		}
-		copy(sub.Recs, tr.Recs[start:end])
-		g, err := Build(sub, cfg.Base)
-		if err != nil {
-			return nil, fmt.Errorf("hb: chunk [%d,%d): %w", start, end, err)
-		}
-		chunks = append(chunks, Chunk{Start: start, Graph: g})
+		windows = append(windows, window{start, end})
 		if end >= n {
-			return chunks, nil
+			break
 		}
 	}
+
+	buildWindow := func(w window, base Config) (Chunk, error) {
+		sub := &trace.Trace{
+			Program:        tr.Program,
+			Recs:           make([]trace.Rec, w.end-w.start),
+			QueueConsumers: tr.QueueConsumers,
+		}
+		copy(sub.Recs, tr.Recs[w.start:w.end])
+		g, err := Build(sub, base)
+		if err != nil {
+			return Chunk{}, fmt.Errorf("hb: chunk [%d,%d): %w", w.start, w.end, err)
+		}
+		return Chunk{Start: w.start, Graph: g}, nil
+	}
+
+	p := cfg.Base.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(windows) {
+		p = len(windows)
+	}
+	if p <= 1 {
+		chunks := make([]Chunk, 0, len(windows))
+		for _, w := range windows {
+			c, err := buildWindow(w, cfg.Base)
+			if err != nil {
+				return nil, err
+			}
+			chunks = append(chunks, c)
+		}
+		return chunks, nil
+	}
+
+	base := cfg.Base
+	base.Parallelism = 1
+	chunks := make([]Chunk, len(windows))
+	errs := make([]error, len(windows))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < p; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(windows) {
+					return
+				}
+				chunks[i], errs[i] = buildWindow(windows[i], base)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return chunks, nil
 }
 
-// ChunkedMemBytes reports the peak per-window closure footprint — the
-// memory high-water mark of the chunked analysis (windows are analyzed one
-// at a time).
+// ChunkedMemBytes reports the peak per-window closure footprint. With
+// sequential window construction this is the memory high-water mark of the
+// analysis; with Base.Parallelism > 1 the transient peak is up to that many
+// windows at once.
 func ChunkedMemBytes(chunks []Chunk) int64 {
 	var peak int64
 	for _, c := range chunks {

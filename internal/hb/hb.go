@@ -25,6 +25,10 @@ package hb
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
 
 	"dcatch/internal/bitset"
 	"dcatch/internal/trace"
@@ -52,6 +56,14 @@ type Config struct {
 
 	// MemBudget bounds reachability memory in bytes (0 = unlimited).
 	MemBudget int64
+
+	// Parallelism is the worker count for the reachability closure and the
+	// Rule-Eserial scan: 0 means runtime.GOMAXPROCS(0), 1 keeps the
+	// sequential reference path. Results are bit-for-bit identical at any
+	// setting: all edges point forward in trace order, so trace order is a
+	// topological order and vertices of equal wavefront level have disjoint
+	// inputs.
+	Parallelism int
 }
 
 // PullPair is a (read, write) static pair identified as loop-based custom
@@ -66,8 +78,7 @@ type Graph struct {
 	Tr  *trace.Trace
 	cfg Config
 
-	in        [][]int32 // in[v] = predecessors of v
-	edgeSet   map[int64]bool
+	in        [][]int32 // in[v] = predecessors of v, deduplicated lazily
 	edgeCount int
 
 	reach []*bitset.Set // reach[v] = vertices that happen before v
@@ -82,7 +93,7 @@ type Graph struct {
 
 // Build constructs the HB graph and its reachability closure.
 func Build(tr *trace.Trace, cfg Config) (*Graph, error) {
-	g := &Graph{Tr: tr, cfg: cfg, edgeSet: map[int64]bool{}}
+	g := &Graph{Tr: tr, cfg: cfg}
 	n := len(tr.Recs)
 	g.in = make([][]int32, n)
 
@@ -98,6 +109,7 @@ func Build(tr *trace.Trace, cfg Config) (*Graph, error) {
 	g.addProgramOrder()
 	g.addPairRules()
 	g.addPullEdges()
+	g.dedupEdges()
 	if err := g.closure(); err != nil {
 		return nil, err
 	}
@@ -105,6 +117,15 @@ func Build(tr *trace.Trace, cfg Config) (*Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// workers resolves the configured parallelism.
+func (g *Graph) workers() int {
+	p := g.cfg.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return p
 }
 
 // N returns the vertex count.
@@ -122,22 +143,37 @@ func (g *Graph) MemBytes() int64 {
 	return total
 }
 
-func (g *Graph) addEdge(u, v int) {
+// addEdge appends u as a predecessor of v and reports whether the edge was
+// accepted. Duplicates are not filtered here: the construction phase dedups
+// all adjacency lists at once with sort+compact (dedupEdges), which avoids a
+// per-edge hash-map probe and allocation on the hot path. Rule-Eserial calls
+// it only for edges its reachability check has proven new.
+func (g *Graph) addEdge(u, v int) bool {
 	if u == v || u < 0 || v < 0 {
-		return
+		return false
 	}
 	if u > v {
 		// All causality in a real run flows forward in trace time; an
 		// inverted edge indicates record mismatch — drop it.
-		return
+		return false
 	}
-	key := int64(u)<<32 | int64(v)
-	if g.edgeSet[key] {
-		return
-	}
-	g.edgeSet[key] = true
 	g.in[v] = append(g.in[v], int32(u))
-	g.edgeCount++
+	return true
+}
+
+// dedupEdges sorts and compacts every adjacency list and recomputes the
+// edge count. Called once after the construction phase.
+func (g *Graph) dedupEdges() {
+	count := 0
+	for v := range g.in {
+		e := g.in[v]
+		if len(e) > 1 {
+			slices.Sort(e)
+			g.in[v] = slices.Compact(e)
+		}
+		count += len(g.in[v])
+	}
+	g.edgeCount = count
 }
 
 // ctxKey computes the program-order context of a record, honouring the
@@ -289,11 +325,27 @@ func (g *Graph) addPullEdges() {
 	}
 }
 
-// closure computes reach[v] for every vertex in topological (= trace) order.
+// closure computes reach[v] for every vertex. addEdge only ever accepts
+// edges with u < v, so trace order is a topological order of the DAG; the
+// sequential path walks it directly, the parallel path fans each wavefront
+// level out across workers. Both produce bit-for-bit identical sets: a
+// vertex's set depends only on its predecessors' sets, and bitwise OR is
+// commutative.
 func (g *Graph) closure() error {
+	const minParallelVertices = 256
+	if p := g.workers(); p > 1 && g.N() >= minParallelVertices {
+		return g.closureWavefront(p)
+	}
+	return g.closureSeq()
+}
+
+// closureSeq is the sequential reference implementation: one pass in trace
+// (= topological) order.
+func (g *Graph) closureSeq() error {
 	n := g.N()
 	g.reach = make([]*bitset.Set, n)
 	var used int64
+	var srcs []*bitset.Set
 	for v := 0; v < n; v++ {
 		s := bitset.New(n)
 		used += int64(s.Bytes())
@@ -302,8 +354,12 @@ func (g *Graph) closure() error {
 			return fmt.Errorf("%w: exceeded %d bytes at vertex %d/%d",
 				ErrOutOfMemory, g.cfg.MemBudget, v, n)
 		}
+		srcs = srcs[:0]
 		for _, u := range g.in[v] {
-			s.Or(g.reach[u])
+			srcs = append(srcs, g.reach[u])
+		}
+		s.OrAll(srcs)
+		for _, u := range g.in[v] {
 			s.Add(int(u))
 		}
 		g.reach[v] = s
@@ -311,9 +367,101 @@ func (g *Graph) closure() error {
 	return nil
 }
 
+// closureWavefront computes the same closure level by level: level(v) =
+// 1 + max(level(pred)), so every predecessor of a level-L vertex lives at a
+// lower level and all level-L sets can be computed concurrently. The
+// WaitGroup barrier between levels is the only synchronization needed.
+func (g *Graph) closureWavefront(p int) error {
+	n := g.N()
+	if g.cfg.MemBudget > 0 {
+		setBytes := int64((n+63)/64) * 8
+		if setBytes*int64(n) > g.cfg.MemBudget {
+			// Same failing vertex the sequential accumulation would hit.
+			cut := int(g.cfg.MemBudget / setBytes)
+			g.reach = nil
+			return fmt.Errorf("%w: exceeded %d bytes at vertex %d/%d",
+				ErrOutOfMemory, g.cfg.MemBudget, cut, n)
+		}
+	}
+
+	// Per-vertex levels in one O(V+E) pass (predecessors precede v in trace
+	// order, so their levels are already final).
+	lvl := make([]int32, n)
+	var maxL int32
+	for v := 0; v < n; v++ {
+		var l int32
+		for _, u := range g.in[v] {
+			if lu := lvl[u] + 1; lu > l {
+				l = lu
+			}
+		}
+		lvl[v] = l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	byLevel := make([][]int32, maxL+1)
+	for v := 0; v < n; v++ {
+		byLevel[lvl[v]] = append(byLevel[lvl[v]], int32(v))
+	}
+
+	g.reach = make([]*bitset.Set, n)
+	fill := func(verts []int32, srcs []*bitset.Set) []*bitset.Set {
+		for _, v := range verts {
+			s := bitset.New(n)
+			srcs = srcs[:0]
+			for _, u := range g.in[v] {
+				srcs = append(srcs, g.reach[u])
+			}
+			s.OrAll(srcs)
+			for _, u := range g.in[v] {
+				s.Add(int(u))
+			}
+			g.reach[v] = s
+		}
+		return srcs
+	}
+	var wg sync.WaitGroup
+	var seqSrcs []*bitset.Set
+	for _, verts := range byLevel {
+		// Narrow levels are not worth a dispatch; wide ones are split into
+		// contiguous ranges, one per worker.
+		w := p
+		if len(verts) < 2*w {
+			seqSrcs = fill(verts, seqSrcs)
+			continue
+		}
+		chunk := (len(verts) + w - 1) / w
+		for k := 0; k < w; k++ {
+			lo := k * chunk
+			hi := lo + chunk
+			if hi > len(verts) {
+				hi = len(verts)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(part []int32) {
+				defer wg.Done()
+				fill(part, nil)
+			}(verts[lo:hi])
+		}
+		wg.Wait()
+	}
+	return nil
+}
+
 // eserialFixedPoint applies Rule-Eserial last (paper §3.2.1): repeatedly add
 // End(e1) ⇒ Begin(e2) for events of the same single-consumer queue whose
 // creations are already ordered, until no more edges appear.
+//
+// Each round scans queues against the closure state of the round's start, so
+// the edge set a round discovers is independent of scan order; queues touch
+// disjoint Begin vertices, which lets the scan fan out one worker per queue.
+// An edge passing the !HappensBefore check cannot already be in the graph
+// (every existing edge is covered by the closure), so accepted edges are
+// counted without a dedup probe.
 func (g *Graph) eserialFixedPoint() error {
 	if g.cfg.DisableEvent {
 		return nil
@@ -344,34 +492,74 @@ func (g *Graph) eserialFixedPoint() error {
 			e.end = i
 		}
 	}
+	// Flatten to a deterministic worklist: queues by name, fully-recorded
+	// events by creation order.
+	names := make([]string, 0, len(queues))
+	for name := range queues {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var worklist [][]*ev
+	for _, name := range names {
+		q := queues[name]
+		evs := make([]*ev, 0, len(q))
+		for _, e := range q {
+			if e.create >= 0 && e.begin >= 0 && e.end >= 0 {
+				evs = append(evs, e)
+			}
+		}
+		if len(evs) < 2 {
+			continue
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].create < evs[j].create })
+		worklist = append(worklist, evs)
+	}
+	scan := func(evs []*ev) int {
+		added := 0
+		for _, e1 := range evs {
+			for _, e2 := range evs {
+				if e1 == e2 {
+					continue
+				}
+				if g.HappensBefore(e1.create, e2.create) && !g.HappensBefore(e1.end, e2.begin) {
+					if g.addEdge(e1.end, e2.begin) {
+						added++
+					}
+				}
+			}
+		}
+		return added
+	}
+	p := g.workers()
 	for {
 		g.Rounds++
-		added := false
-		for _, q := range queues {
-			evs := make([]*ev, 0, len(q))
-			for _, e := range q {
-				if e.create >= 0 && e.begin >= 0 && e.end >= 0 {
-					evs = append(evs, e)
-				}
+		added := 0
+		if p > 1 && len(worklist) > 1 {
+			counts := make([]int, len(worklist))
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, p)
+			for qi := range worklist {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(qi int) {
+					defer wg.Done()
+					counts[qi] = scan(worklist[qi])
+					<-sem
+				}(qi)
 			}
-			for _, e1 := range evs {
-				for _, e2 := range evs {
-					if e1 == e2 {
-						continue
-					}
-					if g.HappensBefore(e1.create, e2.create) && !g.HappensBefore(e1.end, e2.begin) {
-						before := g.edgeCount
-						g.addEdge(e1.end, e2.begin)
-						if g.edgeCount > before {
-							added = true
-						}
-					}
-				}
+			wg.Wait()
+			for _, c := range counts {
+				added += c
+			}
+		} else {
+			for _, evs := range worklist {
+				added += scan(evs)
 			}
 		}
-		if !added {
+		if added == 0 {
 			return nil
 		}
+		g.edgeCount += added
 		if err := g.closure(); err != nil {
 			return err
 		}
@@ -393,6 +581,15 @@ func (g *Graph) HappensBefore(i, j int) bool {
 // Concurrent reports whether neither record happens before the other.
 func (g *Graph) Concurrent(i, j int) bool {
 	return i != j && !g.HappensBefore(i, j) && !g.HappensBefore(j, i)
+}
+
+// ConcurrentOrdered is Concurrent for callers that guarantee 0 <= i < j < N:
+// j can never happen before i (causality flows forward in trace time), so
+// one unchecked bit probe decides the query. Detection's quadratic pair loop
+// iterates sorted record indices and uses this to skip the per-call bounds
+// and ordering checks.
+func (g *Graph) ConcurrentOrdered(i, j int) bool {
+	return !g.reach[j].HasUnchecked(i)
 }
 
 // VectorClocks computes a per-vertex vector clock with one dimension per
