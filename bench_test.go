@@ -16,6 +16,8 @@ import (
 	"dcatch/internal/core"
 	"dcatch/internal/detect"
 	"dcatch/internal/hb"
+	"dcatch/internal/obs"
+	"dcatch/internal/subjects"
 	"dcatch/internal/trigger"
 )
 
@@ -226,6 +228,44 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 		b.ReportMetric(float64(seqTotal)/float64(parTotal), "speedup")
 	}
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on the
+// full MR-3274 pipeline. Recording-on and recording-off runs are interleaved
+// within each iteration (back-to-back, so machine noise hits both sides
+// equally) and the ratio is reported as the "overhead_pct" metric — the
+// budget is <5%, since disabled hot paths pay only nil checks and counters
+// are batched per stage.
+func BenchmarkObsOverhead(b *testing.B) {
+	var bm *subjects.Benchmark
+	for _, x := range bench.Benchmarks() {
+		if x.ID == "MR-3274" {
+			bm = x
+		}
+	}
+	if bm == nil {
+		b.Fatal("MR-3274 missing")
+	}
+	run := func(rec *obs.Recorder) time.Duration {
+		opts := core.Options{Seed: bm.Seed, MaxSteps: bm.MaxSteps, Obs: rec}
+		start := time.Now()
+		if _, err := core.Detect(bm.Workload, opts); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	run(nil) // warm up
+	var offTotal, onTotal time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offTotal += run(nil)
+		onTotal += run(obs.New())
+	}
+	b.StopTimer()
+	if offTotal > 0 {
+		pct := 100 * (float64(onTotal)/float64(offTotal) - 1)
+		b.ReportMetric(pct, "overhead_pct")
+	}
 }
 
 func benchmarkPlacement(b *testing.B, naive bool) {

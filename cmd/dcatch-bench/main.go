@@ -16,6 +16,7 @@ import (
 	"runtime"
 
 	"dcatch/internal/bench"
+	"dcatch/internal/obs"
 )
 
 func main() {
@@ -26,9 +27,14 @@ func main() {
 		records   = flag.Int("bench-records", 100_000, "with -bench-json: synthetic trace length")
 		chunkSize = flag.Int("bench-chunk", 8000, "with -bench-json: analysis window size in records")
 		parallel  = flag.Int("parallel", 0, "pipeline workers for -bench-json: 0 = all CPUs")
+		version   = flag.Bool("version", false, "print the tool version and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(obs.Version())
+		return
+	}
 	if *benchJSON {
 		p := *parallel
 		if p <= 0 {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"dcatch/internal/obs"
 	"dcatch/internal/trace"
 )
 
@@ -20,7 +21,12 @@ func main() {
 	dump := flag.Bool("dump", false, "dump records")
 	asJSON := flag.Bool("json", false, "emit the whole trace as JSON")
 	n := flag.Int("n", 0, "limit dumped records (0 = all)")
+	version := flag.Bool("version", false, "print the tool version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Version())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dcatch-trace [-dump] [-n N] <trace-file>")
 		os.Exit(2)

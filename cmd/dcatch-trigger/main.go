@@ -17,21 +17,28 @@ import (
 
 	"dcatch/internal/bench"
 	"dcatch/internal/core"
+	"dcatch/internal/obs"
 	"dcatch/internal/trigger"
 )
 
 func main() {
 	var (
-		benchID = flag.String("bench", "", "benchmark whose reports to validate")
-		naive   = flag.Bool("naive", false, "disable the placement analysis (§7.2 baseline)")
-		serve   = flag.String("serve", "", "run the TCP controller server on this address")
-		first   = flag.String("first", "A", "with -serve: party granted first")
-		second  = flag.String("second", "B", "with -serve: party granted second")
+		benchID   = flag.String("bench", "", "benchmark whose reports to validate")
+		naive     = flag.Bool("naive", false, "disable the placement analysis (§7.2 baseline)")
+		serve     = flag.String("serve", "", "run the TCP controller server on this address")
+		first     = flag.String("first", "A", "with -serve: party granted first")
+		second    = flag.String("second", "B", "with -serve: party granted second")
+		debugAddr = flag.String("debug-addr", "", "with -serve: serve pprof and expvar (/debug/pprof/, /debug/vars) on this address")
+		version   = flag.Bool("version", false, "print the tool version and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(obs.Version())
+		return
+	}
 	if *serve != "" {
-		runServer(*serve, *first, *second)
+		runServer(*serve, *first, *second, *debugAddr)
 		return
 	}
 
@@ -61,13 +68,22 @@ func main() {
 	}
 }
 
-func runServer(addr, first, second string) {
+func runServer(addr, first, second, debugAddr string) {
 	srv, err := trigger.NewServer(addr, first, second)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("controller listening on %s; grant order: %s then %s\n", srv.Addr(), first, second)
+	if debugAddr != "" {
+		trigger.RegisterDebug(srv)
+		bound, err := trigger.StartDebug(debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug endpoint on http://%s/debug/pprof/ and /debug/vars\n", bound)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig

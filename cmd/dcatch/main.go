@@ -7,6 +7,8 @@
 //
 //	dcatch -list
 //	dcatch -bench MR-3274 [-seed 1] [-full] [-validate] [-trace-out t.bin]
+//	dcatch -bench MR-3274 -metrics-json run.json -v
+//	dcatch -bench MR-3274 -explain 0
 //	dcatch -bench HB-4729 -dump-structure
 package main
 
@@ -18,6 +20,7 @@ import (
 	"dcatch/internal/bench"
 	"dcatch/internal/core"
 	"dcatch/internal/ir"
+	"dcatch/internal/obs"
 	"dcatch/internal/subjects"
 	"dcatch/internal/trigger"
 )
@@ -34,9 +37,17 @@ func main() {
 		program   = flag.Bool("dump-program", false, "print the subject program listing and exit")
 		traceOut  = flag.String("trace-out", "", "write the binary trace to this file")
 		parallel  = flag.Int("parallel", 0, "trace-analysis workers: 0 = all CPUs, 1 = sequential reference path (reports are identical either way)")
+		metrics   = flag.String("metrics-json", "", "write a versioned run manifest (spans, counters, stats) to this file")
+		verbose   = flag.Bool("v", false, "log pipeline progress to stderr")
+		explain   = flag.Int("explain", -1, "print the provenance of report pair N (reported pairs first, then pruned candidates) and exit")
+		version   = flag.Bool("version", false, "print the tool version and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(obs.Version())
+		return
+	}
 	if *list {
 		for _, b := range bench.Benchmarks() {
 			fmt.Printf("%-8s %-16s %-30s %s\n", b.ID, b.System, b.WorkloadDesc, b.Symptom)
@@ -63,13 +74,36 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	// Observability: a recorder is attached whenever any export surface
+	// wants it; detection results are byte-identical either way.
+	var rec *obs.Recorder
+	if *metrics != "" || *verbose {
+		rec = obs.New()
+		if *verbose {
+			rec.SetLog(os.Stderr)
+		}
+		opts.Obs = rec
+	}
 	res, err := core.Detect(b.Workload, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	if *explain >= 0 {
+		text, err := res.Explain(*explain)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(text)
+		writeManifest(*metrics, b, res, rec, flagMap(flag.CommandLine))
+		return
+	}
+
 	fmt.Println(res.Summary())
 	if res.OOM {
+		writeManifest(*metrics, b, res, rec, flagMap(flag.CommandLine))
 		os.Exit(1)
 	}
 	fmt.Println()
@@ -87,16 +121,20 @@ func main() {
 			os.Exit(1)
 		}
 		if err := res.Trace.EncodeTo(f); err != nil {
+			f.Close()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dcatch: writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
 		fmt.Printf("\ntrace written to %s (%d records)\n", *traceOut, len(res.Trace.Recs))
 	}
 
 	if *validate {
 		fmt.Println("\ntriggering module:")
-		vals := core.ValidateAll(res, core.TriggerOptions{MaxSteps: 200_000, Naive: *naive})
+		vals := core.ValidateAll(res, core.TriggerOptions{MaxSteps: 200_000, Naive: *naive, Obs: rec})
 		harmful := 0
 		for _, v := range vals {
 			fmt.Printf("  %s\n", v.Summary())
@@ -111,6 +149,40 @@ func main() {
 		}
 		fmt.Printf("%d/%d reports confirmed harmful\n", harmful, len(vals))
 	}
+
+	writeManifest(*metrics, b, res, rec, flagMap(flag.CommandLine))
+}
+
+// writeManifest exports the run manifest when -metrics-json was given.
+func writeManifest(path string, b *subjects.Benchmark, res *core.Result, rec *obs.Recorder, flags map[string]string) {
+	if path == "" {
+		return
+	}
+	m := obs.NewManifest("dcatch")
+	m.Benchmark = b.ID
+	m.Seed = res.Seed()
+	m.Flags = flags
+	m.Stats = res.Stats
+	m.Attach(rec)
+	buf, err := m.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcatch: encoding manifest: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dcatch: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "manifest written to %s\n", path)
+}
+
+// flagMap captures the flags that were explicitly set, for provenance.
+func flagMap(fs *flag.FlagSet) map[string]string {
+	m := map[string]string{}
+	fs.Visit(func(f *flag.Flag) {
+		m[f.Name] = f.Value.String()
+	})
+	return m
 }
 
 func findBench(id string) *subjects.Benchmark {

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"fmt"
+
 	"dcatch/internal/ir"
 )
 
@@ -10,19 +12,28 @@ import (
 // keep-condition of static pruning: a candidate pair survives if either side
 // has impact.
 func (a *Analysis) HasImpact(static int32, stack []int32) bool {
+	ok, _ := a.ImpactReason(static, stack)
+	return ok
+}
+
+// ImpactReason is HasImpact plus provenance: it names the §4.2 clause that
+// decided the verdict, so `dcatch -explain` can say *why* a candidate was
+// kept or pruned rather than only that it was.
+func (a *Analysis) ImpactReason(static int32, stack []int32) (bool, string) {
 	st := a.Prog.Stmt(int(static))
 	if st == nil {
-		return true // unknown statement: be conservative
+		// Unknown statement: be conservative.
+		return true, "statement unknown to the static analysis (kept conservatively)"
 	}
 	fi := a.funcs[st.Meta().Fn]
 	if fi == nil {
-		return true
+		return true, "enclosing function unknown to the static analysis (kept conservatively)"
 	}
 
 	// A failure instruction is trivially impactful (e.g. a must-succeed
 	// znode delete that crashes on the unexpected interleaving, HB-4729).
 	if directFailure(st) {
-		return true
+		return true, "the access is itself a failure instruction (§4.1)"
 	}
 
 	taint, hvar := a.seedFor(fi, st)
@@ -30,13 +41,13 @@ func (a *Analysis) HasImpact(static int32, stack []int32) bool {
 	// (1) Intra-procedural control/data dependence on a failure
 	// instruction.
 	if failureDependsOn(fi, taint) {
-		return true
+		return true, fmt.Sprintf("a failure instruction in %s control/data-depends on the access (§4.2 local impact)", fi.fn.Name)
 	}
 
 	// (2) One-level callee impact: tainted arguments or the written heap
 	// variable flowing into a callee's failure instructions.
 	if a.calleeImpact(fi, taint, hvar) {
-		return true
+		return true, "the accessed value flows into a callee's failure instruction (§4.2 callee impact)"
 	}
 
 	// (3) One-level caller impact through the return value or the heap,
@@ -44,11 +55,11 @@ func (a *Analysis) HasImpact(static int32, stack []int32) bool {
 	if caller, dst := a.callerSite(fi, stack); caller != nil {
 		if returnTaint(fi, taint) && dst != "" {
 			if failureDependsOn(caller, forwardClosure(caller, map[string]bool{dst: true})) {
-				return true
+				return true, fmt.Sprintf("the return value of %s carries the access into a failure instruction of caller %s (§4.2 caller impact)", fi.fn.Name, caller.fn.Name)
 			}
 		}
 		if hvar != "" && failureDependsOn(caller, forwardClosure(caller, heapSeed(caller, hvar))) {
-			return true
+			return true, fmt.Sprintf("heap variable %q carries the access into a failure instruction of caller %s (§4.2 caller impact)", hvar, caller.fn.Name)
 		}
 	}
 
@@ -63,11 +74,11 @@ func (a *Analysis) HasImpact(static int32, stack []int32) bool {
 				continue
 			}
 			if failureDependsOn(site.fi, forwardClosure(site.fi, map[string]bool{rc.Dst: true})) {
-				return true
+				return true, fmt.Sprintf("the RPC %s returns the access to a failure-dependent caller %s on another node (§4.2 distributed impact)", rpcRoot, site.fi.fn.Name)
 			}
 		}
 	}
-	return false
+	return false, fmt.Sprintf("no control/data dependence path from the access in %s to any failure instruction — intra-procedural, one caller/callee level, or via RPC return values (§4.2)", fi.fn.Name)
 }
 
 // seedFor computes the initial taint of an access statement and, for heap

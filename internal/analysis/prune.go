@@ -27,6 +27,15 @@ func (a *Analysis) pairHasImpact(p *detect.Pair, tr *trace.Trace) bool {
 		a.HasImpact(p.BStatic, stackOf(tr, p.BRec))
 }
 
+// PairImpactReason explains the static-pruning verdict for one candidate
+// pair: whether it survives (either side has §4.2 impact) and the per-side
+// clauses that decided it, in report order (A then B).
+func (a *Analysis) PairImpactReason(p *detect.Pair, tr *trace.Trace) (kept bool, aReason, bReason string) {
+	aOK, aReason := a.ImpactReason(p.AStatic, stackOf(tr, p.ARec))
+	bOK, bReason := a.ImpactReason(p.BStatic, stackOf(tr, p.BRec))
+	return aOK || bOK, aReason, bReason
+}
+
 func stackOf(tr *trace.Trace, rec int) []int32 {
 	if rec < 0 || rec >= len(tr.Recs) {
 		return nil

@@ -8,6 +8,7 @@ import (
 
 	"dcatch/internal/detect"
 	"dcatch/internal/hb"
+	"dcatch/internal/obs"
 	"dcatch/internal/trace"
 )
 
@@ -154,6 +155,12 @@ type PipelineBenchResult struct {
 	// parallel report rendered byte-identically to the sequential one.
 	Candidates int  `json:"candidates"`
 	Identical  bool `json:"reports_identical"`
+
+	// Stages and Counters carry the parallel run's observability data
+	// (stage spans to depth 2 and the per-rule HB / detection counters),
+	// so BENCH_pipeline.json also tracks *where* the time goes.
+	Stages   []obs.SpanData   `json:"stages"`
+	Counters map[string]int64 `json:"counters"`
 }
 
 // RunPipelineBench measures the chunked analysis pipeline (hb.BuildChunked +
@@ -161,18 +168,22 @@ type PipelineBenchResult struct {
 // parallelism, and cross-checks that both render identical reports.
 func RunPipelineBench(records, chunkSize, parallelism int, seed int64) (*PipelineBenchResult, error) {
 	tr := SyntheticTrace(records, seed)
-	run := func(p int) (buildMs, detectMs float64, peak int64, rep *detect.Report, err error) {
+	run := func(p int, rec *obs.Recorder) (buildMs, detectMs float64, peak int64, rep *detect.Report, err error) {
+		bsp := rec.Span("bench.build")
 		t0 := time.Now()
 		chunks, err := hb.BuildChunked(tr, hb.ChunkConfig{
-			Base:      hb.Config{Parallelism: p},
+			Base:      hb.Config{Parallelism: p, Obs: bsp},
 			ChunkSize: chunkSize,
 		})
+		bsp.End()
 		if err != nil {
 			return 0, 0, 0, nil, err
 		}
 		buildMs = float64(time.Since(t0).Microseconds()) / 1000
+		dsp := rec.Span("bench.detect")
 		t0 = time.Now()
-		rep = detect.FindChunked(chunks, detect.Options{Parallelism: p})
+		rep = detect.FindChunked(chunks, detect.Options{Parallelism: p, Obs: dsp})
+		dsp.End()
 		detectMs = float64(time.Since(t0).Microseconds()) / 1000
 		return buildMs, detectMs, hb.ChunkedMemBytes(chunks), rep, nil
 	}
@@ -180,10 +191,13 @@ func RunPipelineBench(records, chunkSize, parallelism int, seed int64) (*Pipelin
 	res := &PipelineBenchResult{Records: records, ChunkSize: chunkSize, Parallelism: parallelism}
 	var seqRep, parRep *detect.Report
 	var err error
-	if res.SeqBuildMs, res.SeqDetectMs, res.PeakReachBytes, seqRep, err = run(1); err != nil {
+	if res.SeqBuildMs, res.SeqDetectMs, res.PeakReachBytes, seqRep, err = run(1, nil); err != nil {
 		return nil, fmt.Errorf("bench: sequential pipeline: %w", err)
 	}
-	if res.ParBuildMs, res.ParDetectMs, _, parRep, err = run(parallelism); err != nil {
+	// The parallel run carries a recorder so BENCH_pipeline.json includes
+	// stage spans and per-rule counters (recording never changes reports).
+	rec := obs.New()
+	if res.ParBuildMs, res.ParDetectMs, _, parRep, err = run(parallelism, rec); err != nil {
 		return nil, fmt.Errorf("bench: parallel pipeline: %w", err)
 	}
 	res.Candidates = parRep.CallstackCount()
@@ -191,6 +205,8 @@ func RunPipelineBench(records, chunkSize, parallelism int, seed int64) (*Pipelin
 	if par := res.ParBuildMs + res.ParDetectMs; par > 0 {
 		res.Speedup = (res.SeqBuildMs + res.SeqDetectMs) / par
 	}
+	res.Stages = rec.Spans(2)
+	res.Counters = rec.Counters()
 	return res, nil
 }
 

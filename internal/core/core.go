@@ -20,6 +20,7 @@ import (
 	"dcatch/internal/analysis"
 	"dcatch/internal/detect"
 	"dcatch/internal/hb"
+	"dcatch/internal/obs"
 	"dcatch/internal/rt"
 	"dcatch/internal/trace"
 	"dcatch/internal/trigger"
@@ -56,6 +57,12 @@ type Options struct {
 	// Analysis tunes failure-instruction identification (§4.1's
 	// configurable failure list).
 	Analysis analysis.Config
+
+	// Obs, when non-nil, records stage spans, per-rule HB metrics and
+	// progress logs for the whole pipeline. Instrumentation is nil-safe
+	// and never changes any result: reports are byte-identical with
+	// recording on or off (see TestObservabilityDeterminism).
+	Obs *obs.Recorder
 }
 
 // Stats aggregates the measurements the paper reports in Tables 5–8.
@@ -114,15 +121,22 @@ func (r *Result) Seed() int64 { return r.seed }
 // Detect runs the full DCatch pipeline on a workload.
 func Detect(w *rt.Workload, opts Options) (*Result, error) {
 	res := &Result{Workload: w, seed: opts.Seed}
+	rec := opts.Obs
+	rec.Logf("detect %s: seed %d", w.Name, opts.Seed)
 
 	// Baseline (untraced) run: sanity and Table 6's "Base" column.
+	sp := rec.Span("core.base_run")
 	t0 := time.Now()
 	base, err := rt.Run(w, rt.Options{Seed: opts.Seed, MaxSteps: opts.MaxSteps})
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: baseline run: %w", err)
 	}
 	res.Stats.BaseTime = time.Since(t0)
 	res.Stats.BaseSteps = base.Steps
+	sp.Attr("steps", base.Steps)
+	sp.End()
+	rec.Logf("base run: %d steps in %v", base.Steps, res.Stats.BaseTime)
 
 	res.Analysis = analysis.NewWithConfig(w.Program, opts.Analysis)
 	var scope map[string]bool
@@ -131,6 +145,8 @@ func Detect(w *rt.Workload, opts Options) (*Result, error) {
 	}
 
 	// Traced run (DCatch monitors a correct execution, §1.3).
+	sp = rec.Span("core.traced_run")
+	sp.Attr("selective", !opts.FullTrace)
 	t0 = time.Now()
 	col := trace.NewCollector(w.Name)
 	run, err := rt.Run(w, rt.Options{
@@ -138,18 +154,24 @@ func Detect(w *rt.Workload, opts Options) (*Result, error) {
 		Collector: col, TraceMem: true, MemScope: scope,
 	})
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: traced run: %w", err)
 	}
 	res.Stats.TracingTime = time.Since(t0)
 	res.Run = run
 	res.Trace = col.Trace()
+	sp.Attr("records", len(res.Trace.Recs))
+	sp.End()
+	rec.Logf("traced run: %d records in %v", len(res.Trace.Recs), res.Stats.TracingTime)
 
 	// Focused second run for loop-based synchronization (§3.2.1): same
 	// seed, same schedule, plus LoopExit and writer-provenance records.
 	loopReads := map[int32][]int32{}
 	if !opts.SkipLoopSync {
+		sp = rec.Span("core.loop_sync_probe")
 		t0 = time.Now()
 		cands := res.Analysis.LoopSyncCandidates()
+		sp.Attr("candidate_loops", len(cands))
 		if len(cands) > 0 {
 			loops, reads := analysis.PullProbe(cands)
 			col2 := trace.NewCollector(w.Name)
@@ -158,44 +180,69 @@ func Detect(w *rt.Workload, opts Options) (*Result, error) {
 				Collector: col2, TraceMem: true, MemScope: scope,
 				PullLoops: loops, PullReads: reads,
 			}); err != nil {
+				sp.End()
 				return nil, fmt.Errorf("core: focused run: %w", err)
 			}
 			res.Trace = col2.Trace()
 			loopReads = cands
 		}
 		res.Stats.LoopSyncTime = time.Since(t0)
+		sp.End()
+		rec.Logf("loop-sync probe: %d candidate loops in %v", len(cands), res.Stats.LoopSyncTime)
 	}
 
 	res.Stats.TraceRecords = len(res.Trace.Recs)
 	res.Stats.TraceBytes = res.Trace.EncodedSize()
+	if rec != nil {
+		for k, v := range res.Trace.Stats().Counters() {
+			rec.Count(k, v)
+		}
+	}
 
 	// Trace analysis without Rule-Mpull: the "TA" stage of Table 5.
+	sp = rec.Span("core.trace_analysis")
 	t0 = time.Now()
 	cfg := opts.HB
 	cfg.LoopReads = nil
+	cfg.Obs = sp
+	dopt := opts.Detect
+	dopt.Obs = sp
 	g0, err := hb.Build(res.Trace, cfg)
 	if err != nil {
 		if opts.ChunkSize <= 0 {
 			res.OOM = true
 			res.Stats.AnalysisTime = time.Since(t0)
+			sp.Attr("oom", true)
+			sp.End()
+			rec.Logf("trace analysis: OUT OF MEMORY (%v)", err)
 			return res, nil
 		}
 		// Chunked fallback (§7.2): analyze window by window.
+		rec.Logf("trace analysis: budget exceeded, falling back to %d-record windows", opts.ChunkSize)
 		chunks, cerr := hb.BuildChunked(res.Trace, hb.ChunkConfig{Base: cfg, ChunkSize: opts.ChunkSize})
 		if cerr != nil {
 			res.OOM = true
 			res.Stats.AnalysisTime = time.Since(t0)
+			sp.Attr("oom", true)
+			sp.End()
+			rec.Logf("chunked analysis: OUT OF MEMORY (%v)", cerr)
 			return res, nil
 		}
 		res.Chunked = true
-		res.TA = detect.FindChunked(chunks, opts.Detect)
+		res.TA = detect.FindChunked(chunks, dopt)
 		res.Stats.TAStatic = res.TA.StaticCount()
 		res.Stats.TACallstack = res.TA.CallstackCount()
 		res.Stats.AnalysisTime = time.Since(t0)
 		res.Stats.HBVertices = len(res.Trace.Recs)
 		res.Stats.HBMemBytes = hb.ChunkedMemBytes(chunks)
+		sp.Attr("chunked", true)
+		sp.End()
+		res.countStage(rec, "ta", res.TA)
+		rec.Logf("trace analysis (chunked): %d/%d candidates in %v",
+			res.Stats.TAStatic, res.Stats.TACallstack, res.Stats.AnalysisTime)
 		// Pruning still applies; the loop-sync HB stage needs the full
 		// graph, so the final report is the pruned chunked one.
+		sp = rec.Span("core.static_pruning")
 		t0 = time.Now()
 		if opts.SkipPrune {
 			res.SP = res.TA
@@ -205,12 +252,17 @@ func Detect(w *rt.Workload, opts Options) (*Result, error) {
 		res.Stats.SPStatic = res.SP.StaticCount()
 		res.Stats.SPCallstack = res.SP.CallstackCount()
 		res.Stats.PruningTime = time.Since(t0)
+		sp.End()
 		res.Final = res.SP
 		res.Stats.LPStatic = res.Final.StaticCount()
 		res.Stats.LPCallstack = res.Final.CallstackCount()
+		res.countStage(rec, "sp", res.SP)
+		res.countStage(rec, "final", res.Final)
+		rec.Logf("static pruning: %d/%d candidates in %v",
+			res.Stats.SPStatic, res.Stats.SPCallstack, res.Stats.PruningTime)
 		return res, nil
 	}
-	res.TA = detect.Find(g0, opts.Detect)
+	res.TA = detect.Find(g0, dopt)
 	res.Stats.TAStatic = res.TA.StaticCount()
 	res.Stats.TACallstack = res.TA.CallstackCount()
 	res.Stats.AnalysisTime = time.Since(t0)
@@ -218,8 +270,13 @@ func Detect(w *rt.Workload, opts Options) (*Result, error) {
 	res.Stats.HBEdges = g0.Edges()
 	res.Stats.HBMemBytes = g0.MemBytes()
 	res.Graph = g0
+	sp.End()
+	res.countStage(rec, "ta", res.TA)
+	rec.Logf("trace analysis: %d vertices, %d edges, %d/%d candidates in %v",
+		g0.N(), g0.Edges(), res.Stats.TAStatic, res.Stats.TACallstack, res.Stats.AnalysisTime)
 
 	// Static pruning (§4).
+	sp = rec.Span("core.static_pruning")
 	t0 = time.Now()
 	if opts.SkipPrune {
 		res.SP = res.TA
@@ -229,25 +286,48 @@ func Detect(w *rt.Workload, opts Options) (*Result, error) {
 	res.Stats.SPStatic = res.SP.StaticCount()
 	res.Stats.SPCallstack = res.SP.CallstackCount()
 	res.Stats.PruningTime = time.Since(t0)
+	sp.Attr("pruned", res.TA.CallstackCount()-res.SP.CallstackCount())
+	sp.End()
+	res.countStage(rec, "sp", res.SP)
+	rec.Logf("static pruning: %d/%d candidates in %v",
+		res.Stats.SPStatic, res.Stats.SPCallstack, res.Stats.PruningTime)
 
 	// Loop-synchronization stage: rebuild with Rule-Mpull and suppress
 	// pull-sync pairs, then intersect with the pruned set.
 	res.Final = res.SP
 	if !opts.SkipLoopSync && len(loopReads) > 0 {
+		sp = rec.Span("core.loop_sync_analysis")
 		cfg.LoopReads = loopReads
+		cfg.Obs = sp
 		g1, err := hb.Build(res.Trace, cfg)
 		if err == nil {
-			opt2 := opts.Detect
+			opt2 := dopt
 			opt2.SuppressPull = true
+			opt2.Obs = sp
 			lp := detect.Find(g1, opt2)
 			res.Graph = g1
 			res.Stats.PullPairs = len(g1.PullPairs)
 			res.Final = intersect(res.SP, lp)
+			sp.Attr("pull_pairs", len(g1.PullPairs))
 		}
+		sp.End()
 	}
 	res.Stats.LPStatic = res.Final.StaticCount()
 	res.Stats.LPCallstack = res.Final.CallstackCount()
+	res.countStage(rec, "final", res.Final)
+	rec.Logf("final report: %d/%d candidates (static/callstack pairs)",
+		res.Stats.LPStatic, res.Stats.LPCallstack)
 	return res, nil
+}
+
+// countStage emits a pruning-funnel counter pair (static and callstack
+// granularity) for one pipeline stage.
+func (r *Result) countStage(rec *obs.Recorder, stage string, rep *detect.Report) {
+	if rec == nil || rep == nil {
+		return
+	}
+	rec.Count("core.candidates."+stage+".static", int64(rep.StaticCount()))
+	rec.Count("core.candidates."+stage+".callstack", int64(rep.CallstackCount()))
 }
 
 // intersect keeps the pairs of a that also appear (by callstack identity)
@@ -271,6 +351,9 @@ type TriggerOptions struct {
 	MaxSteps int
 	// Naive disables placement analysis (§7.2's comparison baseline).
 	Naive bool
+
+	// Obs, when non-nil, records a validation span per report pair.
+	Obs *obs.Recorder
 }
 
 // ValidateAll runs the triggering module on every final report pair.
@@ -282,13 +365,22 @@ func ValidateAll(res *Result, opts TriggerOptions) []trigger.Validation {
 	if maxSteps <= 0 {
 		maxSteps = 120_000
 	}
+	sp := opts.Obs.Span("core.trigger_validation")
+	defer sp.End()
 	var out []trigger.Validation
 	for i := range res.Final.Pairs {
-		out = append(out, trigger.Validate(res.Workload, res.Final.Pairs[i], res.Trace, res.Graph, trigger.Options{
+		vsp := sp.Child("trigger.validate")
+		vsp.Attr("pair", i)
+		v := trigger.Validate(res.Workload, res.Final.Pairs[i], res.Trace, res.Graph, trigger.Options{
 			Seed:     seedOf(res),
 			MaxSteps: maxSteps,
 			Naive:    opts.Naive,
-		}))
+		})
+		vsp.Attr("verdict", fmt.Sprint(v.Verdict))
+		vsp.End()
+		opts.Obs.Count("trigger.validations", 1)
+		opts.Obs.Logf("trigger pair %d: %s", i, v.Summary())
+		out = append(out, v)
 	}
 	return out
 }

@@ -19,6 +19,10 @@ import (
 // sequential path's: the first window containing a callstack pair provides
 // its representative records and Dynamic counts are summed.
 func FindChunked(chunks []hb.Chunk, opts Options) *Report {
+	sp := opts.Obs.Child("detect.find_chunked")
+	sp.Attr("windows", len(chunks))
+	defer sp.End()
+	opts.Obs = sp // per-window detect.find spans nest under this one
 	reps := make([]*Report, len(chunks))
 	if p := opts.workers(); p > 1 && len(chunks) > 1 {
 		if p > len(chunks) {
@@ -73,5 +77,7 @@ func FindChunked(chunks []hb.Chunk, opts Options) *Report {
 	for _, k := range order {
 		out.Pairs = append(out.Pairs, *merged[k])
 	}
+	sp.Attr("merged_candidates", len(out.Pairs))
+	sp.Count("detect.merged_candidates", int64(len(out.Pairs)))
 	return out
 }

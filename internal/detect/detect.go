@@ -15,6 +15,7 @@ import (
 
 	"dcatch/internal/hb"
 	"dcatch/internal/ir"
+	"dcatch/internal/obs"
 	"dcatch/internal/trace"
 )
 
@@ -142,6 +143,10 @@ type Options struct {
 	// the sorted object list, so the report is byte-identical at any
 	// setting.
 	Parallelism int
+
+	// Obs, when non-nil, is the parent span for detection spans and
+	// counters (detect.*). Recording never influences the report.
+	Obs *obs.Span
 }
 
 func (o Options) workers() int {
@@ -165,9 +170,10 @@ type foundPair struct {
 
 // scanObject runs the quadratic pair scan over one location's access
 // records (ascending trace indices), folding results into found.
-func scanObject(g *hb.Graph, obj string, idxs []int, objIdx, maxGroup int, pull map[int64]bool, found map[string]*foundPair) {
+func scanObject(g *hb.Graph, obj string, idxs []int, objIdx, maxGroup int, pull map[int64]bool, found map[string]*foundPair, sp *obs.Span) {
 	if len(idxs) > maxGroup {
 		idxs = subsample(g.Tr, idxs, maxGroup)
+		sp.Count("detect.subsampled_locations", 1)
 	}
 	recs := g.Tr.Recs
 	for x := 0; x < len(idxs); x++ {
@@ -204,6 +210,8 @@ func scanObject(g *hb.Graph, obj string, idxs []int, objIdx, maxGroup int, pull 
 
 // Find enumerates concurrent conflicting access pairs.
 func Find(g *hb.Graph, opts Options) *Report {
+	sp := opts.Obs.Child("detect.find")
+	defer sp.End()
 	maxGroup := opts.MaxGroup
 	if maxGroup <= 0 {
 		maxGroup = defaultMaxGroup
@@ -246,11 +254,11 @@ func Find(g *hb.Graph, opts Options) *Report {
 
 	var found map[string]*foundPair
 	if p := opts.workers(); p > 1 && len(objs) > 1 {
-		found = findSharded(g, objs, groups, maxGroup, pull, p)
+		found = findSharded(g, objs, groups, maxGroup, pull, p, sp)
 	} else {
 		found = map[string]*foundPair{}
 		for oi, obj := range objs {
-			scanObject(g, obj, groups[obj], oi, maxGroup, pull, found)
+			scanObject(g, obj, groups[obj], oi, maxGroup, pull, found, sp)
 		}
 	}
 
@@ -260,9 +268,16 @@ func Find(g *hb.Graph, opts Options) *Report {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	var dynamic int64
 	for _, k := range keys {
 		rep.Pairs = append(rep.Pairs, found[k].pair)
+		dynamic += int64(found[k].pair.Dynamic)
 	}
+	sp.Attr("locations", len(objs))
+	sp.Attr("candidates", len(rep.Pairs))
+	sp.Count("detect.locations_scanned", int64(len(objs)))
+	sp.Count("detect.candidates", int64(len(rep.Pairs)))
+	sp.Count("detect.dynamic_pairs", dynamic)
 	return rep
 }
 
@@ -272,7 +287,7 @@ func Find(g *hb.Graph, opts Options) *Report {
 // pair comes from the lowest object index that produced it — exactly the
 // occurrence the sequential scan (which walks objects in sorted order)
 // would have kept — and Dynamic counts are summed.
-func findSharded(g *hb.Graph, objs []string, groups map[string][]int, maxGroup int, pull map[int64]bool, p int) map[string]*foundPair {
+func findSharded(g *hb.Graph, objs []string, groups map[string][]int, maxGroup int, pull map[int64]bool, p int, sp *obs.Span) map[string]*foundPair {
 	if p > len(objs) {
 		p = len(objs)
 	}
@@ -290,7 +305,7 @@ func findSharded(g *hb.Graph, objs []string, groups map[string][]int, maxGroup i
 				if oi >= len(objs) {
 					return
 				}
-				scanObject(g, objs[oi], groups[objs[oi]], oi, maxGroup, pull, mine)
+				scanObject(g, objs[oi], groups[objs[oi]], oi, maxGroup, pull, mine, sp)
 			}
 		}(w)
 	}

@@ -57,6 +57,9 @@ func BuildChunked(tr *trace.Trace, cfg ChunkConfig) ([]Chunk, error) {
 	if cfg.ChunkSize <= 0 {
 		return nil, fmt.Errorf("hb: chunk size must be positive, got %d", cfg.ChunkSize)
 	}
+	sp := cfg.Base.Obs.Child("hb.build_chunked")
+	defer sp.End()
+	cfg.Base.Obs = sp // per-window hb.build spans nest under this one
 	overlap := cfg.ChunkOverlap
 	if overlap <= 0 {
 		overlap = cfg.ChunkSize / 4
@@ -93,6 +96,9 @@ func BuildChunked(tr *trace.Trace, cfg ChunkConfig) ([]Chunk, error) {
 		}
 		return Chunk{Start: w.start, Graph: g}, nil
 	}
+
+	sp.Attr("windows", len(windows))
+	sp.Count("hb.chunk_windows", int64(len(windows)))
 
 	p := cfg.Base.Parallelism
 	if p <= 0 {

@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"dcatch/internal/bitset"
+	"dcatch/internal/obs"
 	"dcatch/internal/trace"
 	"dcatch/internal/vclock"
 )
@@ -64,6 +65,12 @@ type Config struct {
 	// topological order and vertices of equal wavefront level have disjoint
 	// inputs.
 	Parallelism int
+
+	// Obs, when non-nil, is the parent span under which Build records its
+	// instrumentation: nested spans per construction phase, closure
+	// invocation, wavefront batch and Eserial round, plus per-rule edge
+	// counters (hb.edges.*). Recording never influences the graph.
+	Obs *obs.Span
 }
 
 // PullPair is a (read, write) static pair identified as loop-based custom
@@ -89,6 +96,9 @@ type Graph struct {
 
 	// Rounds is the number of Rule-Eserial fixed-point iterations.
 	Rounds int
+
+	// sp is Build's instrumentation span (nil when observability is off).
+	sp *obs.Span
 }
 
 // Build constructs the HB graph and its reachability closure.
@@ -106,17 +116,68 @@ func Build(tr *trace.Trace, cfg Config) (*Graph, error) {
 		}
 	}
 
+	g.sp = cfg.Obs.Child("hb.build")
+	g.sp.Attr("vertices", n)
+
+	rules := g.sp.Child("hb.rules")
 	g.addProgramOrder()
 	g.addPairRules()
 	g.addPullEdges()
 	g.dedupEdges()
-	if err := g.closure(); err != nil {
+	rules.End()
+	if err := g.closure(g.sp); err != nil {
+		g.sp.End()
 		return nil, err
 	}
 	if err := g.eserialFixedPoint(); err != nil {
+		g.sp.End()
 		return nil, err
 	}
+	g.recordBuildMetrics()
+	g.sp.End()
 	return g, nil
+}
+
+// recordBuildMetrics emits the whole-graph counters once construction is
+// complete; the reach-bit popcount is skipped entirely when observability
+// is off.
+func (g *Graph) recordBuildMetrics() {
+	if g.sp == nil {
+		return
+	}
+	g.sp.Attr("edges", g.edgeCount)
+	g.sp.Attr("eserial_rounds", g.Rounds)
+	g.sp.Count("hb.vertices", int64(g.N()))
+	g.sp.Count("hb.edges.total", int64(g.edgeCount))
+	g.sp.Count("hb.reach.bytes", g.MemBytes())
+	g.sp.Count("hb.reach.bits", g.reachBits())
+	g.sp.Count("hb.pull_pairs", int64(len(g.PullPairs)))
+}
+
+// reachBits estimates the total number of set reachability bits. Small
+// graphs are counted exactly; larger ones are sampled on a fixed vertex
+// stride (deterministic) and scaled, keeping the cost of the metric
+// bounded regardless of trace size.
+func (g *Graph) reachBits() int64 {
+	const exactLimit = 4096
+	const samples = 1024
+	n := len(g.reach)
+	if n == 0 {
+		return 0
+	}
+	stride := 1
+	if n > exactLimit {
+		stride = n / samples
+	}
+	var bits, counted int64
+	for v := 0; v < n; v += stride {
+		bits += int64(g.reach[v].Count())
+		counted++
+	}
+	if stride == 1 {
+		return bits
+	}
+	return bits * int64(n) / counted
 }
 
 // workers resolves the configured parallelism.
@@ -216,13 +277,17 @@ func (g *Graph) dropped(r *trace.Rec) bool {
 // addProgramOrder applies Rule-Preg / Rule-Pnreg.
 func (g *Graph) addProgramOrder() {
 	last := map[int64]int{}
+	var added int64
 	for i := range g.Tr.Recs {
 		k := g.ctxKey(&g.Tr.Recs[i])
 		if p, ok := last[k]; ok {
-			g.addEdge(p, i)
+			if g.addEdge(p, i) {
+				added++
+			}
 		}
 		last[k] = i
 	}
+	g.sp.Count("hb.edges.preg", added)
 }
 
 // addPairRules applies the ID-matched rules: Tfork/Tjoin, Eenq, Mrpc, Msoc,
@@ -246,9 +311,13 @@ func (g *Graph) addPairRules() {
 			}
 		}
 	}
-	pair := func(i int, srcKind trace.Kind, op uint64) {
+	// Per-rule tallies, indexed in lockstep with ruleCounterNames.
+	var added [6]int64
+	pair := func(i int, srcKind trace.Kind, op uint64, rule int) {
 		if s, ok := first[key{srcKind, op}]; ok {
-			g.addEdge(s, i)
+			if g.addEdge(s, i) {
+				added[rule]++
+			}
 		}
 	}
 	for i := range g.Tr.Recs {
@@ -258,21 +327,43 @@ func (g *Graph) addPairRules() {
 		}
 		switch r.Kind {
 		case trace.KThreadBegin:
-			pair(i, trace.KThreadCreate, r.Op)
+			pair(i, trace.KThreadCreate, r.Op, ruleTfork)
 		case trace.KThreadJoin:
-			pair(i, trace.KThreadEnd, r.Op)
+			pair(i, trace.KThreadEnd, r.Op, ruleTjoin)
 		case trace.KEventBegin:
-			pair(i, trace.KEventCreate, r.Op)
+			pair(i, trace.KEventCreate, r.Op, ruleEenq)
 		case trace.KRPCBegin:
-			pair(i, trace.KRPCCreate, r.Op)
+			pair(i, trace.KRPCCreate, r.Op, ruleMrpc)
 		case trace.KRPCJoin:
-			pair(i, trace.KRPCEnd, r.Op)
+			pair(i, trace.KRPCEnd, r.Op, ruleMrpc)
 		case trace.KSockRecv:
-			pair(i, trace.KSockSend, r.Op)
+			pair(i, trace.KSockSend, r.Op, ruleMsoc)
 		case trace.KZKPushed:
-			pair(i, trace.KZKUpdate, r.Op)
+			pair(i, trace.KZKUpdate, r.Op, ruleMpush)
 		}
 	}
+	for rule, n := range added {
+		g.sp.Count(ruleCounterNames[rule], n)
+	}
+}
+
+// Rule indices and counter names for the ID-matched pair rules.
+const (
+	ruleTfork = iota
+	ruleTjoin
+	ruleEenq
+	ruleMrpc
+	ruleMsoc
+	ruleMpush
+)
+
+var ruleCounterNames = [...]string{
+	ruleTfork: "hb.edges.tfork",
+	ruleTjoin: "hb.edges.tjoin",
+	ruleEenq:  "hb.edges.eenq",
+	ruleMrpc:  "hb.edges.mrpc",
+	ruleMsoc:  "hb.edges.msoc",
+	ruleMpush: "hb.edges.mpush",
 }
 
 // addPullEdges applies Rule-Mpull using the focused run's records: for each
@@ -291,6 +382,7 @@ func (g *Graph) addPullEdges() {
 		}
 		readSets[loop] = m
 	}
+	var mpull int64
 	// seqIdx: record sequence number -> index.
 	seqIdx := map[uint64]int{}
 	for i := range g.Tr.Recs {
@@ -317,12 +409,15 @@ func (g *Graph) addPullEdges() {
 			}
 			wr := &g.Tr.Recs[w]
 			if wr.Thread != r.Thread {
-				g.addEdge(w, i)
+				if g.addEdge(w, i) {
+					mpull++
+				}
 				g.PullPairs = append(g.PullPairs, PullPair{ReadStatic: r.StaticID, WriteStatic: wr.StaticID})
 			}
 			break
 		}
 	}
+	g.sp.Count("hb.edges.mpull", mpull)
 }
 
 // closure computes reach[v] for every vertex. addEdge only ever accepts
@@ -331,11 +426,15 @@ func (g *Graph) addPullEdges() {
 // level out across workers. Both produce bit-for-bit identical sets: a
 // vertex's set depends only on its predecessors' sets, and bitwise OR is
 // commutative.
-func (g *Graph) closure() error {
+func (g *Graph) closure(parent *obs.Span) error {
 	const minParallelVertices = 256
+	sp := parent.Child("hb.closure")
+	defer sp.End()
 	if p := g.workers(); p > 1 && g.N() >= minParallelVertices {
-		return g.closureWavefront(p)
+		sp.Attr("mode", "wavefront")
+		return g.closureWavefront(p, sp)
 	}
+	sp.Attr("mode", "sequential")
 	return g.closureSeq()
 }
 
@@ -371,7 +470,7 @@ func (g *Graph) closureSeq() error {
 // 1 + max(level(pred)), so every predecessor of a level-L vertex lives at a
 // lower level and all level-L sets can be computed concurrently. The
 // WaitGroup barrier between levels is the only synchronization needed.
-func (g *Graph) closureWavefront(p int) error {
+func (g *Graph) closureWavefront(p int, sp *obs.Span) error {
 	n := g.N()
 	if g.cfg.MemBudget > 0 {
 		setBytes := int64((n+63)/64) * 8
@@ -421,16 +520,31 @@ func (g *Graph) closureWavefront(p int) error {
 		}
 		return srcs
 	}
+	// Per-batch spans are capped so the manifest stays bounded on deep
+	// graphs; the remainder is aggregated into the closure span's attrs.
+	const maxBatchSpans = 32
+	batches, seqLevels, widest := 0, 0, 0
 	var wg sync.WaitGroup
 	var seqSrcs []*bitset.Set
-	for _, verts := range byLevel {
+	for lv, verts := range byLevel {
+		if len(verts) > widest {
+			widest = len(verts)
+		}
 		// Narrow levels are not worth a dispatch; wide ones are split into
 		// contiguous ranges, one per worker.
 		w := p
 		if len(verts) < 2*w {
+			seqLevels++
 			seqSrcs = fill(verts, seqSrcs)
 			continue
 		}
+		var bsp *obs.Span
+		if batches < maxBatchSpans {
+			bsp = sp.Child("hb.closure.batch")
+			bsp.Attr("level", lv)
+			bsp.Attr("width", len(verts))
+		}
+		batches++
 		chunk := (len(verts) + w - 1) / w
 		for k := 0; k < w; k++ {
 			lo := k * chunk
@@ -448,7 +562,12 @@ func (g *Graph) closureWavefront(p int) error {
 			}(verts[lo:hi])
 		}
 		wg.Wait()
+		bsp.End()
 	}
+	sp.Attr("levels", len(byLevel))
+	sp.Attr("widest_level", widest)
+	sp.Attr("parallel_batches", batches)
+	sp.Attr("sequential_levels", seqLevels)
 	return nil
 }
 
@@ -531,8 +650,11 @@ func (g *Graph) eserialFixedPoint() error {
 		return added
 	}
 	p := g.workers()
+	var eserialTotal int64
 	for {
 		g.Rounds++
+		rsp := g.sp.Child("hb.eserial.round")
+		rsp.Attr("round", g.Rounds)
 		added := 0
 		if p > 1 && len(worklist) > 1 {
 			counts := make([]int, len(worklist))
@@ -556,11 +678,17 @@ func (g *Graph) eserialFixedPoint() error {
 				added += scan(evs)
 			}
 		}
+		rsp.Attr("edges_added", added)
 		if added == 0 {
+			rsp.End()
+			g.sp.Count("hb.edges.eserial", eserialTotal)
 			return nil
 		}
+		eserialTotal += int64(added)
 		g.edgeCount += added
-		if err := g.closure(); err != nil {
+		err := g.closure(rsp)
+		rsp.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -581,6 +709,27 @@ func (g *Graph) HappensBefore(i, j int) bool {
 // Concurrent reports whether neither record happens before the other.
 func (g *Graph) Concurrent(i, j int) bool {
 	return i != j && !g.HappensBefore(i, j) && !g.HappensBefore(j, i)
+}
+
+// CommonAncestors returns up to limit vertices that happen before both i
+// and j, nearest first (highest trace index first). For a concurrent pair
+// these are the closest points where the two access histories were still
+// ordered — the evidence `dcatch -explain` prints alongside "no HB path".
+func (g *Graph) CommonAncestors(i, j, limit int) []int {
+	n := g.N()
+	if limit <= 0 || i < 0 || j < 0 || i >= n || j >= n || i == j {
+		return nil
+	}
+	if i > j {
+		i, j = j, i
+	}
+	var out []int
+	for k := i - 1; k >= 0 && len(out) < limit; k-- {
+		if g.reach[i].Has(k) && g.reach[j].Has(k) {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // ConcurrentOrdered is Concurrent for callers that guarantee 0 <= i < j < N:

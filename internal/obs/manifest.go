@@ -1,0 +1,63 @@
+package obs
+
+import "encoding/json"
+
+// ManifestVersion is bumped whenever the manifest schema changes
+// incompatibly; consumers must check it before interpreting fields.
+const ManifestVersion = 1
+
+// Manifest is the versioned machine-readable record of one pipeline run,
+// written by `dcatch -metrics-json`: what ran (tool, version, benchmark,
+// seed, flags), what it measured (stats, counters, spans) and how much
+// memory it peaked at. Stats is the caller's stage-statistics struct
+// (core.Stats for detection runs), serialized as-is.
+type Manifest struct {
+	SchemaVersion     int               `json:"manifest_version"`
+	Tool              string            `json:"tool"`
+	ToolVersion       string            `json:"tool_version"`
+	VCSRevision       string            `json:"vcs_revision,omitempty"`
+	Benchmark         string            `json:"benchmark,omitempty"`
+	Seed              int64             `json:"seed"`
+	Flags             map[string]string `json:"flags,omitempty"`
+	Stats             any               `json:"stats"`
+	Counters          map[string]int64  `json:"counters"`
+	Spans             []SpanData        `json:"spans"`
+	MemHighWaterBytes uint64            `json:"mem_high_water_bytes"`
+}
+
+// NewManifest returns a manifest skeleton for the named tool.
+func NewManifest(tool string) *Manifest {
+	ver, rev := versionInfo()
+	return &Manifest{
+		SchemaVersion: ManifestVersion,
+		Tool:          tool,
+		ToolVersion:   ver,
+		VCSRevision:   rev,
+		Flags:         map[string]string{},
+	}
+}
+
+// Attach copies the recorder's counters, span forest and memory high-water
+// mark into the manifest. A nil recorder attaches empty (non-nil) data so
+// the manifest always carries the required keys.
+func (m *Manifest) Attach(r *Recorder) {
+	m.Counters = r.Counters()
+	if m.Counters == nil {
+		m.Counters = map[string]int64{}
+	}
+	m.Spans = r.Spans(0)
+	if m.Spans == nil {
+		m.Spans = []SpanData{}
+	}
+	m.MemHighWaterBytes = r.MemHighWater()
+}
+
+// JSON renders the manifest with stable indentation, trailing newline
+// included.
+func (m *Manifest) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

@@ -207,6 +207,22 @@ func (t *Trace) Stats() Stats {
 	return s
 }
 
+// Counters renders the breakdown as observability counters, one per
+// operation category (trace.records.*), for the run manifest.
+func (s Stats) Counters() map[string]int64 {
+	return map[string]int64{
+		"trace.records.total":  int64(s.Total),
+		"trace.records.mem":    int64(s.Mem),
+		"trace.records.rpc":    int64(s.RPC),
+		"trace.records.socket": int64(s.Socket),
+		"trace.records.event":  int64(s.Event),
+		"trace.records.thread": int64(s.Thread),
+		"trace.records.lock":   int64(s.Lock),
+		"trace.records.zkpush": int64(s.ZKPush),
+		"trace.records.other":  int64(s.Other),
+	}
+}
+
 // PerThread splits record indices by thread, preserving order; the paper's
 // tracer writes one file per thread, and tests use this view to validate
 // per-thread ordering invariants.

@@ -1,0 +1,56 @@
+package trigger
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+)
+
+// Debug endpoint for long-lived controller servers: StartDebug serves the Go
+// runtime's pprof profiles (/debug/pprof/) and expvar metrics (/debug/vars)
+// so a stuck or slow timing exploration can be diagnosed in place. The
+// expvar map gains a "dcatch_trigger" variable with a snapshot of every
+// registered controller's protocol state.
+
+var (
+	debugMu      sync.Mutex
+	debugServers []*Server
+	publishOnce  sync.Once
+)
+
+// RegisterDebug adds srv to the set reported by the "dcatch_trigger" expvar.
+func RegisterDebug(srv *Server) {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	debugServers = append(debugServers, srv)
+}
+
+// StartDebug serves pprof and expvar on addr (e.g. "127.0.0.1:6060") in a
+// background goroutine and returns the bound address. expvar publication is
+// once-only, so StartDebug is safe to call multiple times in one process.
+func StartDebug(addr string) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("dcatch_trigger", expvar.Func(func() any {
+			debugMu.Lock()
+			defer debugMu.Unlock()
+			stats := make([]ServerStats, 0, len(debugServers))
+			for _, s := range debugServers {
+				stats = append(stats, s.Stats())
+			}
+			return stats
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("trigger: debug listen: %w", err)
+	}
+	go func() {
+		// DefaultServeMux carries both the pprof handlers (blank import
+		// above) and expvar's /debug/vars.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

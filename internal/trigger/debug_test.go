@@ -1,0 +1,74 @@
+package trigger
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugEndpoint(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	RegisterDebug(srv)
+
+	addr, err := StartDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// StartDebug must be idempotent (expvar.Publish panics on duplicates).
+	addr2, err := StartDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == addr2 {
+		t.Fatalf("both debug listeners bound %s", addr)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar output is not JSON: %v\n%s", err, body)
+	}
+	raw, ok := vars["dcatch_trigger"]
+	if !ok {
+		t.Fatalf("/debug/vars lacks dcatch_trigger: %s", body)
+	}
+	var stats []ServerStats
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range stats {
+		if s.Addr == srv.Addr() && s.First == "A" && s.Second == "B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered server missing from dcatch_trigger: %s", raw)
+	}
+
+	// The pprof index must be served too (blank net/http/pprof import).
+	resp2, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	idx, _ := io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(idx), "goroutine") {
+		t.Fatalf("pprof index not served: status %d", resp2.StatusCode)
+	}
+}

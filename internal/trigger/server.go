@@ -74,6 +74,35 @@ func (s *Server) Log() []string {
 	return append([]string(nil), s.log...)
 }
 
+// ServerStats is a point-in-time snapshot of one controller server, exported
+// on the dcatch-trigger debug endpoint (expvar "dcatch_trigger").
+type ServerStats struct {
+	Addr      string   `json:"addr"`
+	First     string   `json:"first"`
+	Second    string   `json:"second"`
+	Requests  int      `json:"requests"`
+	Confirms  int      `json:"confirms"`
+	Closed    bool     `json:"closed"`
+	EventLog  []string `json:"event_log"`
+	LogLength int      `json:"log_length"`
+}
+
+// Stats snapshots the server's protocol state.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServerStats{
+		Addr:      s.ln.Addr().String(),
+		First:     s.first,
+		Second:    s.other,
+		Requests:  len(s.arrived),
+		Confirms:  len(s.confirms),
+		Closed:    s.closed,
+		EventLog:  append([]string(nil), s.log...),
+		LogLength: len(s.log),
+	}
+}
+
 func (s *Server) acceptLoop() {
 	for {
 		conn, err := s.ln.Accept()
