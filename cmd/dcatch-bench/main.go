@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	dcatch-bench              # all tables
-//	dcatch-bench -table 5     # one table
-//	dcatch-bench -bench-json  # measure the pipeline, write BENCH_pipeline.json
+//	dcatch-bench                       # all tables
+//	dcatch-bench -table 5              # one table
+//	dcatch-bench -bench-json           # measure the pipeline, write BENCH_pipeline.json
+//	dcatch-bench -records 50000        # backend scaling smoke: exit 1 if reports diverge
+//	dcatch-bench -bench-json -records 100000,300000,1000000
+//	                                   # pipeline + memory-scaling sweep in one file
 package main
 
 import (
@@ -14,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"dcatch/internal/bench"
 	"dcatch/internal/obs"
@@ -27,6 +32,8 @@ func main() {
 		records   = flag.Int("bench-records", 100_000, "with -bench-json: synthetic trace length")
 		chunkSize = flag.Int("bench-chunk", 8000, "with -bench-json: analysis window size in records")
 		parallel  = flag.Int("parallel", 0, "pipeline workers for -bench-json: 0 = all CPUs")
+		sweep     = flag.String("records", "", "comma-separated trace sizes for the backend memory-scaling sweep (dense vs chain at parallelism 1 and 8); exits 1 if any report diverges")
+		budget    = flag.Int64("bench-budget", 2<<30, "with -records: analysis memory budget in bytes")
 		version   = flag.Bool("version", false, "print the tool version and exit")
 	)
 	flag.Parse()
@@ -35,33 +42,59 @@ func main() {
 		fmt.Println(obs.Version())
 		return
 	}
-	if *benchJSON {
-		p := *parallel
-		if p <= 0 {
-			p = runtime.GOMAXPROCS(0)
+	if *benchJSON || *sweep != "" {
+		file := &bench.BenchFile{SchemaVersion: 2}
+		if *benchJSON {
+			p := *parallel
+			if p <= 0 {
+				p = runtime.GOMAXPROCS(0)
+			}
+			res, err := bench.RunPipelineBench(*records, *chunkSize, p, 42)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			file.Pipeline = res
+			fmt.Printf("pipeline: %d records, window %d, %d workers: seq %.1fms (build %.1f + detect %.1f), par %.1fms, speedup %.2fx, peak reach %.1fMB, identical=%v\n",
+				res.Records, res.ChunkSize, res.Parallelism,
+				res.SeqBuildMs+res.SeqDetectMs, res.SeqBuildMs, res.SeqDetectMs,
+				res.ParBuildMs+res.ParDetectMs, res.Speedup,
+				float64(res.PeakReachBytes)/(1<<20), res.Identical)
 		}
-		res, err := bench.RunPipelineBench(*records, *chunkSize, p, 42)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		var sweepErr error
+		if *sweep != "" {
+			sizes, err := parseSizes(*sweep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			logf := func(format string, args ...any) {
+				fmt.Printf("scaling: "+format+"\n", args...)
+			}
+			file.Scaling, sweepErr = bench.RunScalingSweep(sizes, *budget, 42, logf)
+			if file.Scaling == nil {
+				fmt.Fprintln(os.Stderr, sweepErr)
+				os.Exit(1)
+			}
 		}
-		buf, err := res.JSON()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if *benchJSON {
+			buf, err := file.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("result written to %s\n", *jsonOut)
 		}
-		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("pipeline: %d records, window %d, %d workers: seq %.1fms (build %.1f + detect %.1f), par %.1fms, speedup %.2fx, peak reach %.1fMB, identical=%v\n",
-			res.Records, res.ChunkSize, res.Parallelism,
-			res.SeqBuildMs+res.SeqDetectMs, res.SeqBuildMs, res.SeqDetectMs,
-			res.ParBuildMs+res.ParDetectMs, res.Speedup,
-			float64(res.PeakReachBytes)/(1<<20), res.Identical)
-		fmt.Printf("result written to %s\n", *jsonOut)
-		if !res.Identical {
+		if file.Pipeline != nil && !file.Pipeline.Identical {
 			fmt.Fprintln(os.Stderr, "ERROR: parallel report diverged from sequential")
+			os.Exit(1)
+		}
+		if sweepErr != nil {
+			fmt.Fprintf(os.Stderr, "ERROR: %v\n", sweepErr)
 			os.Exit(1)
 		}
 		return
@@ -95,4 +128,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(out)
+}
+
+// parseSizes parses the -records list ("100000,300000,1000000").
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("dcatch-bench: bad -records entry %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }

@@ -19,6 +19,7 @@ import (
 
 	"dcatch/internal/bench"
 	"dcatch/internal/core"
+	"dcatch/internal/hb"
 	"dcatch/internal/ir"
 	"dcatch/internal/obs"
 	"dcatch/internal/subjects"
@@ -37,6 +38,7 @@ func main() {
 		program   = flag.Bool("dump-program", false, "print the subject program listing and exit")
 		traceOut  = flag.String("trace-out", "", "write the binary trace to this file")
 		parallel  = flag.Int("parallel", 0, "trace-analysis workers: 0 = all CPUs, 1 = sequential reference path (reports are identical either way)")
+		reach     = flag.String("reach", "dense", "reachability backend: dense (paper bit arrays), chain (O(V*C) chain index), or auto (dense if it fits the memory budget, else chain)")
 		metrics   = flag.String("metrics-json", "", "write a versioned run manifest (spans, counters, stats) to this file")
 		verbose   = flag.Bool("v", false, "log pipeline progress to stderr")
 		explain   = flag.Int("explain", -1, "print the provenance of report pair N (reported pairs first, then pruned candidates) and exit")
@@ -71,6 +73,12 @@ func main() {
 	opts := core.Options{Seed: b.Seed, MaxSteps: b.MaxSteps, FullTrace: *full}
 	opts.HB.Parallelism = *parallel
 	opts.Detect.Parallelism = *parallel
+	backend, err := hb.ParseBackend(*reach)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts.HB.ReachBackend = backend
 	if *seed != 0 {
 		opts.Seed = *seed
 	}

@@ -8,12 +8,27 @@ import (
 // Prune applies static pruning (paper §4): a DCbug candidate survives only
 // if at least one of its two accesses can impact a failure instruction. It
 // returns the surviving report and the number of pruned callstack pairs.
+//
+// The per-side verdict depends only on (static, callstack), and a Pair's
+// StackKey strings encode exactly that, so verdicts are memoized per side —
+// many candidate pairs share sides (one hot write racing many reads), and
+// HasImpact walks a forward closure per call.
 func (a *Analysis) Prune(rep *detect.Report, tr *trace.Trace) (*detect.Report, int) {
 	kept := &detect.Report{}
 	pruned := 0
+	verdict := map[sideKey]bool{}
+	side := func(static int32, stack string, rec int) bool {
+		k := sideKey{static, stack}
+		v, ok := verdict[k]
+		if !ok {
+			v = a.HasImpact(static, stackOf(tr, rec))
+			verdict[k] = v
+		}
+		return v
+	}
 	for i := range rep.Pairs {
 		p := rep.Pairs[i]
-		if a.pairHasImpact(&p, tr) {
+		if side(p.AStatic, p.AStack, p.ARec) || side(p.BStatic, p.BStack, p.BRec) {
 			kept.Pairs = append(kept.Pairs, p)
 		} else {
 			pruned++
@@ -22,9 +37,11 @@ func (a *Analysis) Prune(rep *detect.Report, tr *trace.Trace) (*detect.Report, i
 	return kept, pruned
 }
 
-func (a *Analysis) pairHasImpact(p *detect.Pair, tr *trace.Trace) bool {
-	return a.HasImpact(p.AStatic, stackOf(tr, p.ARec)) ||
-		a.HasImpact(p.BStatic, stackOf(tr, p.BRec))
+// sideKey identifies one access side for verdict memoization: the static
+// instruction plus its callstack image (Pair.AStack/BStack).
+type sideKey struct {
+	static int32
+	stack  string
 }
 
 // PairImpactReason explains the static-pruning verdict for one candidate

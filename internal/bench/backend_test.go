@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"dcatch/internal/detect"
+	"dcatch/internal/hb"
+)
+
+// This file is the report-level half of the backend differential suite (the
+// query-level half lives in internal/hb): on synthetic full-pipeline traces,
+// dense and chain backends must render byte-identical detection reports at
+// parallelism 1 and 8, in both the per-handler-context regime
+// (SyntheticTrace, many chains) and the bounded-context regime
+// (SyntheticTraceBounded, constant chains).
+
+// TestBoundedTraceChainCount pins the property the scaling sweep relies on:
+// the bounded generator's chain count is independent of trace length.
+func TestBoundedTraceChainCount(t *testing.T) {
+	counts := map[int]int{}
+	for _, n := range []int{10_000, 40_000} {
+		g, err := hb.Build(SyntheticTraceBounded(n, 7), hb.Config{ReachBackend: hb.BackendChain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[n] = g.Chains()
+		if g.Chains() > 16+192+1 {
+			t.Fatalf("%d records: %d chains, want a bounded count", n, g.Chains())
+		}
+	}
+	if counts[10_000] != counts[40_000] {
+		t.Fatalf("chain count grew with trace length: %v", counts)
+	}
+}
+
+// TestScalingSweepSmoke runs a miniature sweep end to end: both backends
+// fit the budget, all reports agree, and the memory ratio favors chain.
+// (16k records is past the crossover where n×C×4 chain rows undercut the
+// n²/8 dense matrix for this generator's ~209 chains.)
+func TestScalingSweepSmoke(t *testing.T) {
+	sweep, err := RunScalingSweep([]int{16_000}, 1<<30, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 1 || len(sweep.Points[0].Runs) != 4 {
+		t.Fatalf("unexpected sweep shape: %+v", sweep)
+	}
+	for _, run := range sweep.Points[0].Runs {
+		if run.OOM || !run.Identical {
+			t.Fatalf("run %s p%d: oom=%v identical=%v", run.Backend, run.Parallelism, run.OOM, run.Identical)
+		}
+	}
+	if r := sweep.Points[0].DenseOverChain; r <= 1 {
+		t.Fatalf("dense/chain footprint ratio %.2f, want > 1", r)
+	}
+}
+
+// TestScalingSweepDenseOOM pins the admission behavior under a tight budget:
+// dense is refused with a recorded prediction, chain completes.
+func TestScalingSweepDenseOOM(t *testing.T) {
+	n := 20_000
+	budget := hb.DenseReachBytes(n) / 2
+	sweep, err := RunScalingSweep([]int{n}, budget, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var denseOOM, chainRan bool
+	for _, run := range sweep.Points[0].Runs {
+		switch run.Backend {
+		case "dense":
+			if !run.OOM || run.PredictedBytes != hb.DenseReachBytes(n) || !strings.Contains(run.Error, "memory budget") {
+				t.Fatalf("dense run not refused as expected: %+v", run)
+			}
+			denseOOM = true
+		case "chain":
+			if run.OOM || !run.Identical {
+				t.Fatalf("chain run failed under dense-OOM budget: %+v", run)
+			}
+			chainRan = true
+		}
+	}
+	if !denseOOM || !chainRan {
+		t.Fatalf("sweep missing runs: %+v", sweep.Points[0].Runs)
+	}
+	if r := sweep.Points[0].DenseOverChain; r <= 1 {
+		t.Fatalf("predicted dense/chain ratio %.2f, want > 1", r)
+	}
+}
+
+// reportParity builds one trace and asserts byte-identical reports across
+// backend × parallelism.
+func reportParity(t *testing.T, name string, recs int, bounded bool) {
+	t.Helper()
+	tr := SyntheticTrace(recs, 1)
+	if bounded {
+		tr = SyntheticTraceBounded(recs, 2)
+	}
+	var reference string
+	for _, be := range []hb.Backend{hb.BackendDense, hb.BackendChain} {
+		for _, p := range []int{1, 8} {
+			g, err := hb.Build(tr, hb.Config{ReachBackend: be, Parallelism: p})
+			if err != nil {
+				t.Fatalf("%s %v p%d: %v", name, be, p, err)
+			}
+			got := detect.Find(g, detect.Options{MaxGroup: 300, Parallelism: p}).Format(nil)
+			if reference == "" {
+				reference = got
+				continue
+			}
+			if got != reference {
+				t.Fatalf("%s: %v p%d report diverged from dense p1", name, be, p)
+			}
+		}
+	}
+	if reference == "" || reference[0] == '0' {
+		t.Fatalf("%s: degenerate report %q", name, reference)
+	}
+}
+
+func TestBackendReportParityPerHandler(t *testing.T) { reportParity(t, "per-handler", 8000, false) }
+func TestBackendReportParityBounded(t *testing.T)    { reportParity(t, "bounded", 20_000, true) }

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"dcatch/internal/detect"
+	"dcatch/internal/hb"
+)
+
+// The memory-scaling sweep measures the reachability backends against a
+// fixed analysis memory budget across growing bounded-context traces
+// (SyntheticTraceBounded): the dense bit matrix grows O(V²) and is refused
+// by its admission check past a few hundred thousand records, while the
+// chain index grows O(V·C) with constant C and analyzes million-record
+// traces unchunked. Every completed run's report is cross-checked
+// byte-for-byte against the chain parallelism-1 reference.
+
+// ScalingRun is one (backend, parallelism) measurement at one trace size.
+type ScalingRun struct {
+	Backend     string `json:"backend"`
+	Parallelism int    `json:"parallelism"`
+
+	// OOM is set when the backend's admission check refused the budget;
+	// Error carries its message and PredictedBytes its predicted footprint.
+	OOM            bool   `json:"oom,omitempty"`
+	Error          string `json:"error,omitempty"`
+	PredictedBytes int64  `json:"predicted_bytes,omitempty"`
+
+	BuildMs        float64 `json:"build_ms,omitempty"`
+	DetectMs       float64 `json:"detect_ms,omitempty"`
+	PeakReachBytes int64   `json:"peak_reach_bytes,omitempty"`
+	Chains         int     `json:"chains,omitempty"`
+	Candidates     int     `json:"candidates,omitempty"`
+
+	// Identical asserts this run's report rendered byte-identically to the
+	// sweep's reference run (chain backend, parallelism 1).
+	Identical bool `json:"reports_identical,omitempty"`
+}
+
+// ScalingPoint groups the runs at one trace size. DenseOverChain is the
+// dense/chain reachability footprint ratio, using the dense backend's
+// predicted footprint when it refused to run.
+type ScalingPoint struct {
+	Records        int          `json:"records"`
+	DenseOverChain float64      `json:"dense_over_chain"`
+	Runs           []ScalingRun `json:"runs"`
+}
+
+// ScalingSweep is the full -records sweep, serialized into
+// BENCH_pipeline.json.
+type ScalingSweep struct {
+	MemBudget int64          `json:"mem_budget"`
+	MaxGroup  int            `json:"max_group"`
+	Seed      int64          `json:"seed"`
+	Points    []ScalingPoint `json:"points"`
+}
+
+// scalingMaxGroup caps the per-location pair scan during sweeps; the
+// synthetic traces hammer a small object pool, so detection time would
+// otherwise swamp the closure being measured.
+const scalingMaxGroup = 300
+
+// RunScalingSweep measures both backends at parallelism 1 and 8 on a
+// bounded-context synthetic trace of each given size under the given
+// analysis memory budget. It returns an error if any completed run's report
+// diverges from the chain parallelism-1 reference (the CI smoke gate).
+func RunScalingSweep(sizes []int, budget, seed int64, logf func(format string, args ...any)) (*ScalingSweep, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sweep := &ScalingSweep{MemBudget: budget, MaxGroup: scalingMaxGroup, Seed: seed}
+	for _, n := range sizes {
+		tr := SyntheticTraceBounded(n, seed)
+		point := ScalingPoint{Records: n}
+		var reference string
+		var chainPeak, densePeak int64
+		for _, rc := range []struct {
+			backend hb.Backend
+			par     int
+		}{
+			{hb.BackendChain, 1}, // the reference run
+			{hb.BackendChain, 8},
+			{hb.BackendDense, 1},
+			{hb.BackendDense, 8},
+		} {
+			run := ScalingRun{Backend: rc.backend.String(), Parallelism: rc.par}
+			t0 := time.Now()
+			g, err := hb.Build(tr, hb.Config{
+				ReachBackend: rc.backend,
+				MemBudget:    budget,
+				Parallelism:  rc.par,
+			})
+			if err != nil {
+				if !errors.Is(err, hb.ErrOutOfMemory) {
+					return nil, fmt.Errorf("bench: %s p%d at %d records: %w", run.Backend, rc.par, n, err)
+				}
+				run.OOM = true
+				run.Error = err.Error()
+				if rc.backend == hb.BackendDense {
+					run.PredictedBytes = hb.DenseReachBytes(n)
+					densePeak = run.PredictedBytes
+				}
+				logf("%d records, %s p%d: OOM under budget %d (%v)", n, run.Backend, rc.par, budget, err)
+				point.Runs = append(point.Runs, run)
+				continue
+			}
+			run.BuildMs = float64(time.Since(t0).Microseconds()) / 1000
+			t0 = time.Now()
+			rep := detect.Find(g, detect.Options{MaxGroup: scalingMaxGroup, Parallelism: rc.par})
+			run.DetectMs = float64(time.Since(t0).Microseconds()) / 1000
+			run.PeakReachBytes = g.MemBytes()
+			run.Chains = g.Chains()
+			run.Candidates = rep.CallstackCount()
+			switch rc.backend {
+			case hb.BackendChain:
+				chainPeak = run.PeakReachBytes
+			case hb.BackendDense:
+				densePeak = run.PeakReachBytes
+			}
+			format := rep.Format(nil)
+			if reference == "" {
+				reference = format
+				run.Identical = true
+			} else {
+				run.Identical = format == reference
+			}
+			logf("%d records, %s p%d: build %.0fms, detect %.0fms, peak %.1fMB, %d candidates, identical=%v",
+				n, run.Backend, rc.par, run.BuildMs, run.DetectMs,
+				float64(run.PeakReachBytes)/(1<<20), run.Candidates, run.Identical)
+			point.Runs = append(point.Runs, run)
+			if !run.Identical {
+				sweep.Points = append(sweep.Points, point)
+				return sweep, fmt.Errorf("bench: %s p%d report diverged from chain p1 at %d records",
+					run.Backend, rc.par, n)
+			}
+		}
+		if chainPeak > 0 && densePeak > 0 {
+			point.DenseOverChain = float64(densePeak) / float64(chainPeak)
+		}
+		sweep.Points = append(sweep.Points, point)
+	}
+	return sweep, nil
+}
+
+// BenchFile is the BENCH_pipeline.json schema (version 2): the original
+// chunked-pipeline measurement plus the backend memory-scaling sweep.
+type BenchFile struct {
+	SchemaVersion int                  `json:"schema_version"`
+	Pipeline      *PipelineBenchResult `json:"pipeline,omitempty"`
+	Scaling       *ScalingSweep        `json:"scaling,omitempty"`
+}
+
+// JSON renders the bench file.
+func (f *BenchFile) JSON() ([]byte, error) {
+	return json.MarshalIndent(f, "", "  ")
+}

@@ -130,6 +130,125 @@ func SyntheticTrace(n int, seed int64) *trace.Trace {
 	return c.Trace()
 }
 
+// SyntheticTraceBounded is the memory-scaling variant of SyntheticTrace: the
+// same cluster shape and rule mix, but with a bounded program-order context
+// count. SyntheticTrace mints a fresh context per RPC/message/watch handler
+// instance, so its chain count grows linearly with the trace — realistic for
+// handler-heavy runs but the worst case for the chain reachability index.
+// Real long traces are dominated by a fixed set of worker loops; this
+// generator models that: cross-node closes land on the receiver's regular
+// thread context, and only a fixed budget of event-handler instances get
+// fresh contexts. The chain count is therefore constant (~208) regardless of
+// n, which is the regime where the chain backend's O(V·C) footprint beats the
+// dense O(V²) bit matrix.
+func SyntheticTraceBounded(n int, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	c := trace.NewCollector("synthetic-bounded")
+
+	const nodes = 4
+	const threadsPerNode = 4 // thread 0 of each node is the event consumer
+	const objsPerNode = 48
+	const handlerBudget = 192 // total event-handler instances (fresh contexts)
+	nodeName := func(nd int) string { return fmt.Sprintf("n%d", nd) }
+	queueName := func(nd int) string { return fmt.Sprintf("n%d/q", nd) }
+	threadID := func(nd, t int) int32 { return int32(nd*threadsPerNode + t + 1) }
+	for nd := 0; nd < nodes; nd++ {
+		c.SetQueueInfo(queueName(nd), 1)
+	}
+
+	type pend struct {
+		kind trace.Kind
+		op   uint64
+	}
+	var open []pend
+	evPending := make([][]uint64, nodes)
+	evRunning := make([]uint64, nodes)
+	evCtx := make([]int32, nodes)
+	evCreated := 0
+	nextOp := uint64(1)
+	nextCtx := int32(10_000)
+
+	for i := 0; i < n; i++ {
+		nd := rng.Intn(nodes)
+		t := 1 + rng.Intn(threadsPerNode-1)
+		r := trace.Rec{
+			Node: nodeName(nd), Thread: threadID(nd, t), Ctx: threadID(nd, t),
+			CtxKind:  trace.CtxRegular,
+			StaticID: int32(rng.Intn(24)),
+			Stack:    []int32{int32(rng.Intn(8))},
+		}
+		obj := func() string { return fmt.Sprintf("n%d/o%d", nd, rng.Intn(objsPerNode)) }
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			r.Kind = trace.KMemRead
+			r.Obj = obj()
+		case 4, 5, 6:
+			r.Kind = trace.KMemWrite
+			r.Obj = obj()
+		case 7: // open a causal pair
+			r.Kind = []trace.Kind{trace.KThreadCreate, trace.KRPCCreate, trace.KSockSend, trace.KZKUpdate}[rng.Intn(4)]
+			r.Op = nextOp
+			open = append(open, pend{r.Kind, nextOp})
+			nextOp++
+		case 8: // close a pending pair on the receiver's own worker loop
+			if len(open) == 0 {
+				r.Kind = trace.KMemRead
+				r.Obj = obj()
+				break
+			}
+			k := rng.Intn(len(open))
+			p := open[k]
+			open = append(open[:k], open[k+1:]...)
+			r.Op = p.op
+			switch p.kind {
+			case trace.KThreadCreate:
+				r.Kind = trace.KThreadBegin
+			case trace.KRPCCreate:
+				r.Kind = trace.KRPCBegin
+			case trace.KSockSend:
+				r.Kind = trace.KSockRecv
+			case trace.KZKUpdate:
+				r.Kind = trace.KZKPushed
+			}
+		default: // event-queue activity, fresh contexts capped by the budget
+			switch {
+			case evRunning[nd] != 0:
+				r.Thread = threadID(nd, 0)
+				r.Ctx = evCtx[nd]
+				r.CtxKind = trace.CtxEvent
+				r.Kind = trace.KEventEnd
+				r.Op = evRunning[nd]
+				r.Queue = queueName(nd)
+				evRunning[nd] = 0
+			case len(evPending[nd]) > 0:
+				op := evPending[nd][0]
+				evPending[nd] = evPending[nd][1:]
+				r.Thread = threadID(nd, 0)
+				r.Ctx = nextCtx
+				r.CtxKind = trace.CtxEvent
+				r.Kind = trace.KEventBegin
+				r.Op = op
+				r.Queue = queueName(nd)
+				evRunning[nd] = op
+				evCtx[nd] = nextCtx
+				nextCtx++
+			case evCreated < handlerBudget:
+				r.Kind = trace.KEventCreate
+				r.Op = nextOp
+				r.Queue = queueName(nd)
+				evPending[nd] = append(evPending[nd], nextOp)
+				evCreated++
+				nextOp++
+			default:
+				r.Kind = trace.KMemWrite
+				r.Obj = obj()
+			}
+		}
+		c.Emit(r)
+	}
+	return c.Trace()
+}
+
 // PipelineBenchResult is one synthetic trace-analysis measurement,
 // serialized by cmd/dcatch-bench -bench-json so the perf trajectory is
 // tracked across PRs (BENCH_pipeline.json).

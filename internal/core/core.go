@@ -79,7 +79,10 @@ type Stats struct {
 
 	HBVertices, HBEdges int
 	HBMemBytes          int64
-	PullPairs           int
+	// ReachBackend names the reachability representation the HB closure
+	// materialized ("dense" or "chain"), as resolved from Options.HB.
+	ReachBackend string
+	PullPairs    int
 
 	BaseTime     time.Duration
 	TracingTime  time.Duration
@@ -235,6 +238,9 @@ func Detect(w *rt.Workload, opts Options) (*Result, error) {
 		res.Stats.AnalysisTime = time.Since(t0)
 		res.Stats.HBVertices = len(res.Trace.Recs)
 		res.Stats.HBMemBytes = hb.ChunkedMemBytes(chunks)
+		if len(chunks) > 0 {
+			res.Stats.ReachBackend = chunks[0].Graph.Backend().String()
+		}
 		sp.Attr("chunked", true)
 		sp.End()
 		res.countStage(rec, "ta", res.TA)
@@ -269,6 +275,7 @@ func Detect(w *rt.Workload, opts Options) (*Result, error) {
 	res.Stats.HBVertices = g0.N()
 	res.Stats.HBEdges = g0.Edges()
 	res.Stats.HBMemBytes = g0.MemBytes()
+	res.Stats.ReachBackend = g0.Backend().String()
 	res.Graph = g0
 	sp.End()
 	res.countStage(rec, "ta", res.TA)

@@ -78,6 +78,10 @@ func describeSide(prog *ir.Program, static int32, stack string) string {
 type Report struct {
 	Pairs []Pair
 
+	// mu guards the statics cache; read-only queries (StaticCount,
+	// HasStaticPair, ...) may be issued from concurrent consumers while the
+	// memo is (re)built.
+	mu sync.Mutex
 	// staticSet caches the packed static-pair identities of Pairs; it is
 	// rebuilt whenever len(Pairs) changes (reports only ever grow, via
 	// core.DetectMulti-style appends).
@@ -90,6 +94,8 @@ type Report struct {
 // this set — with string keys — on every call; benchmark loops hit them per
 // report pair.
 func (r *Report) statics() map[int64]struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.staticSet == nil || r.staticLen != len(r.Pairs) {
 		set := make(map[int64]struct{}, len(r.Pairs))
 		for i := range r.Pairs {
@@ -212,6 +218,7 @@ func scanObject(g *hb.Graph, obj string, idxs []int, objIdx, maxGroup int, pull 
 func Find(g *hb.Graph, opts Options) *Report {
 	sp := opts.Obs.Child("detect.find")
 	defer sp.End()
+	sp.Attr("reach_backend", g.Backend().String())
 	maxGroup := opts.MaxGroup
 	if maxGroup <= 0 {
 		maxGroup = defaultMaxGroup

@@ -1,0 +1,41 @@
+package detect
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStaticsConcurrent hammers the memoized static-pair set from many
+// goroutines, including across a Pairs append that invalidates the memo.
+// Run under -race (CI does) this locks the mutex-guarded rebuild.
+func TestStaticsConcurrent(t *testing.T) {
+	rep := &Report{}
+	for i := int32(0); i < 64; i++ {
+		rep.Pairs = append(rep.Pairs, Pair{AStatic: i, BStatic: i % 7})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if rep.StaticCount() == 0 {
+					t.Error("static count dropped to zero")
+					return
+				}
+				rep.HasStaticPair(int32(i%64), int32(i%7))
+				_ = rep.StaticKeys()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	before := rep.StaticCount()
+	rep.Pairs = append(rep.Pairs, Pair{AStatic: 1000, BStatic: 1001})
+	if got := rep.StaticCount(); got != before+1 {
+		t.Fatalf("memo not invalidated on append: %d, want %d", got, before+1)
+	}
+	if !rep.HasStaticPair(1001, 1000) {
+		t.Fatal("appended pair not visible")
+	}
+}

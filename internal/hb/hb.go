@@ -58,6 +58,13 @@ type Config struct {
 	// MemBudget bounds reachability memory in bytes (0 = unlimited).
 	MemBudget int64
 
+	// ReachBackend selects the reachability representation: BackendDense
+	// (the default — per-vertex bit arrays, O(V²/8) bytes), BackendChain
+	// (per-chain minimum positions, O(V·C·4) bytes), or BackendAuto
+	// (dense if it fits MemBudget, else chain). Queries and reports are
+	// identical across backends; only memory and the OOM threshold change.
+	ReachBackend Backend
+
 	// Parallelism is the worker count for the reachability closure and the
 	// Rule-Eserial scan: 0 means runtime.GOMAXPROCS(0), 1 keeps the
 	// sequential reference path. Results are bit-for-bit identical at any
@@ -88,7 +95,12 @@ type Graph struct {
 	in        [][]int32 // in[v] = predecessors of v, deduplicated lazily
 	edgeCount int
 
-	reach []*bitset.Set // reach[v] = vertices that happen before v
+	// backend is the resolved reachability representation; exactly one of
+	// reach (dense) and chain is populated after Build.
+	backend Backend
+	reach   []*bitset.Set // dense: reach[v] = vertices that happen before v
+	chains  *chainSet     // chain/auto: the trace's chain decomposition
+	chain   *chainIndex   // chain: per-chain minimum reached positions
 
 	// PullPairs lists the pull-synchronization pairs discovered while
 	// applying Rule-Mpull.
@@ -107,17 +119,13 @@ func Build(tr *trace.Trace, cfg Config) (*Graph, error) {
 	n := len(tr.Recs)
 	g.in = make([][]int32, n)
 
-	if cfg.MemBudget > 0 {
-		words := int64((n + 63) / 64)
-		need := words * 8 * int64(n)
-		if need > cfg.MemBudget {
-			return nil, fmt.Errorf("%w: need %d bytes for %d vertices, budget %d",
-				ErrOutOfMemory, need, n, cfg.MemBudget)
-		}
+	if err := g.resolveBackend(); err != nil {
+		return nil, err
 	}
 
 	g.sp = cfg.Obs.Child("hb.build")
 	g.sp.Attr("vertices", n)
+	g.sp.Attr("reach_backend", g.backend.String())
 
 	rules := g.sp.Child("hb.rules")
 	g.addProgramOrder()
@@ -150,15 +158,27 @@ func (g *Graph) recordBuildMetrics() {
 	g.sp.Count("hb.vertices", int64(g.N()))
 	g.sp.Count("hb.edges.total", int64(g.edgeCount))
 	g.sp.Count("hb.reach.bytes", g.MemBytes())
+	// Per-backend footprint counters plus a cross-window peak, so chunked
+	// manifests expose both the total and the true high-water mark.
+	g.sp.Count("hb.reach.bytes."+g.backend.String(), g.MemBytes())
+	g.sp.CountMax("hb.reach.peak_bytes", g.MemBytes())
+	if g.backend == BackendChain {
+		g.sp.Count("hb.reach.chains", int64(g.chains.count()))
+	}
 	g.sp.Count("hb.reach.bits", g.reachBits())
 	g.sp.Count("hb.pull_pairs", int64(len(g.PullPairs)))
 }
 
-// reachBits estimates the total number of set reachability bits. Small
+// reachBits estimates the total number of ordered reachable pairs. Small
 // graphs are counted exactly; larger ones are sampled on a fixed vertex
 // stride (deterministic) and scaled, keeping the cost of the metric
-// bounded regardless of trace size.
+// bounded regardless of trace size. The dense backend counts ancestor bits;
+// the chain backend counts descendants per chain — the same total, sampled
+// from the other side.
 func (g *Graph) reachBits() int64 {
+	if g.chain != nil {
+		return g.chain.chainBits(g.N())
+	}
 	const exactLimit = 4096
 	const samples = 1024
 	n := len(g.reach)
@@ -195,8 +215,24 @@ func (g *Graph) N() int { return len(g.Tr.Recs) }
 // Edges returns the edge count.
 func (g *Graph) Edges() int { return g.edgeCount }
 
+// Backend returns the reachability backend Build resolved (auto is resolved
+// to the concrete choice).
+func (g *Graph) Backend() Backend { return g.backend }
+
+// Chains returns the number of program-order chains of the chain index, or
+// 0 under the dense backend.
+func (g *Graph) Chains() int {
+	if g.chain == nil {
+		return 0
+	}
+	return g.chain.c
+}
+
 // MemBytes returns the reachability-closure memory footprint.
 func (g *Graph) MemBytes() int64 {
+	if g.chain != nil {
+		return g.chain.memBytes()
+	}
 	var total int64
 	for _, s := range g.reach {
 		total += int64(s.Bytes())
@@ -420,19 +456,33 @@ func (g *Graph) addPullEdges() {
 	g.sp.Count("hb.edges.mpull", mpull)
 }
 
-// closure computes reach[v] for every vertex. addEdge only ever accepts
-// edges with u < v, so trace order is a topological order of the DAG; the
-// sequential path walks it directly, the parallel path fans each wavefront
-// level out across workers. Both produce bit-for-bit identical sets: a
-// vertex's set depends only on its predecessors' sets, and bitwise OR is
-// commutative.
+// closure materializes the resolved backend's reachability index. addEdge
+// only ever accepts edges with u < v, so trace order is a topological order
+// of the DAG; each backend has a sequential reference pass over it and a
+// wavefront-parallel variant that fans independent levels out across
+// workers. All four paths produce identical query results: an index entry
+// depends only on already-final neighbor entries, and both meets (bitwise
+// OR for dense, elementwise min for chain) are commutative.
 func (g *Graph) closure(parent *obs.Span) error {
 	const minParallelVertices = 256
 	sp := parent.Child("hb.closure")
 	defer sp.End()
+	sp.Attr("backend", g.backend.String())
+	par := 0
 	if p := g.workers(); p > 1 && g.N() >= minParallelVertices {
+		par = p
+	}
+	if g.backend == BackendChain {
+		if par > 0 {
+			sp.Attr("mode", "wavefront")
+			return g.chainWavefront(par, sp)
+		}
+		sp.Attr("mode", "sequential")
+		return g.chainSeq()
+	}
+	if par > 0 {
 		sp.Attr("mode", "wavefront")
-		return g.closureWavefront(p, sp)
+		return g.closureWavefront(par, sp)
 	}
 	sp.Attr("mode", "sequential")
 	return g.closureSeq()
@@ -694,6 +744,15 @@ func (g *Graph) eserialFixedPoint() error {
 	}
 }
 
+// ancestor reports whether u happens before v for callers that guarantee
+// 0 <= u < v < N — the single hot-path query both backends answer in O(1).
+func (g *Graph) ancestor(u, v int) bool {
+	if g.chain != nil {
+		return g.chain.reaches(u, v)
+	}
+	return g.reach[v].HasUnchecked(u)
+}
+
 // HappensBefore reports whether record i happens before record j (indices
 // into Tr.Recs).
 func (g *Graph) HappensBefore(i, j int) bool {
@@ -703,7 +762,7 @@ func (g *Graph) HappensBefore(i, j int) bool {
 	if i > j {
 		return false // causality never flows backwards in trace time
 	}
-	return g.reach[j].Has(i)
+	return g.ancestor(i, j)
 }
 
 // Concurrent reports whether neither record happens before the other.
@@ -725,7 +784,7 @@ func (g *Graph) CommonAncestors(i, j, limit int) []int {
 	}
 	var out []int
 	for k := i - 1; k >= 0 && len(out) < limit; k-- {
-		if g.reach[i].Has(k) && g.reach[j].Has(k) {
+		if g.ancestor(k, i) && g.ancestor(k, j) {
 			out = append(out, k)
 		}
 	}
@@ -734,11 +793,11 @@ func (g *Graph) CommonAncestors(i, j, limit int) []int {
 
 // ConcurrentOrdered is Concurrent for callers that guarantee 0 <= i < j < N:
 // j can never happen before i (causality flows forward in trace time), so
-// one unchecked bit probe decides the query. Detection's quadratic pair loop
-// iterates sorted record indices and uses this to skip the per-call bounds
-// and ordering checks.
+// one unchecked index probe decides the query. Detection's quadratic pair
+// loop iterates sorted record indices and uses this to skip the per-call
+// bounds and ordering checks.
 func (g *Graph) ConcurrentOrdered(i, j int) bool {
-	return !g.reach[j].HasUnchecked(i)
+	return !g.ancestor(i, j)
 }
 
 // VectorClocks computes a per-vertex vector clock with one dimension per

@@ -100,6 +100,21 @@ func (r *Recorder) Count(name string, n int64) {
 	r.mu.Unlock()
 }
 
+// CountMax raises the named counter to n if n is larger — a high-water-mark
+// counter. Summing counters misrepresents per-window quantities like the
+// reachability footprint under chunked analysis (many windows, one alive at
+// a time); max-semantics counters record the true peak instead.
+func (r *Recorder) CountMax(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if n > r.counters[name] {
+		r.counters[name] = n
+	}
+	r.mu.Unlock()
+}
+
 // Counters returns a copy of all counters.
 func (r *Recorder) Counters() map[string]int64 {
 	if r == nil {
@@ -207,6 +222,14 @@ func (s *Span) Count(name string, n int64) {
 		return
 	}
 	s.rec.Count(name, n)
+}
+
+// CountMax delegates to the owning recorder's high-water-mark counter.
+func (s *Span) CountMax(name string, n int64) {
+	if s == nil {
+		return
+	}
+	s.rec.CountMax(name, n)
 }
 
 // Logf delegates to the owning recorder's progress log.

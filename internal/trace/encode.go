@@ -202,6 +202,16 @@ func Decode(in io.Reader) (*Trace, error) {
 	if n > 1<<28 {
 		return nil, fmt.Errorf("trace: unreasonable record count %d", n)
 	}
+	// Callstack interning: real traces repeat a small set of stacks across
+	// millions of records (every instrumented site logs the same frames each
+	// time it fires). Decoding each record into its own []int32 used to make
+	// the stack slices the dominant decode allocation; instead, distinct
+	// stacks are canonicalized through a map keyed by their byte image —
+	// m[string(key)] compiles to an allocation-free lookup — so repeated
+	// stacks share one backing array.
+	stacks := map[string][]int32{}
+	var scratch []int32
+	var key []byte
 	t.Recs = make([]Rec, 0, n)
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		var r Rec
@@ -220,10 +230,19 @@ func Decode(in io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: unreasonable stack depth %d", ns)
 		}
 		if ns > 0 {
-			r.Stack = make([]int32, ns)
-			for j := range r.Stack {
-				r.Stack[j] = int32(uint32(d.uvarint()))
+			scratch = scratch[:0]
+			key = key[:0]
+			for j := uint64(0); j < ns; j++ {
+				f := int32(uint32(d.uvarint()))
+				scratch = append(scratch, f)
+				key = append(key, byte(f), byte(f>>8), byte(f>>16), byte(f>>24))
 			}
+			st, ok := stacks[string(key)]
+			if !ok {
+				st = append([]int32(nil), scratch...)
+				stacks[string(key)] = st
+			}
+			r.Stack = st
 		}
 		r.Queue = lookup(d.uvarint())
 		if d.err == nil {
