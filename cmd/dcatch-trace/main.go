@@ -1,11 +1,12 @@
 // Command dcatch-trace inspects a binary DCatch trace (written by
-// dcatch -trace-out): prints the Table 7 record breakdown and optionally
-// dumps records.
+// dcatch -trace-out): prints the Table 7 record breakdown, optionally
+// dumps records, or runs HB trace analysis directly on the file.
 //
 // Usage:
 //
 //	dcatch-trace -stats t.bin
 //	dcatch-trace -dump -n 50 t.bin
+//	dcatch-trace -analyze [-parallel N] [-reach chain] t.bin
 package main
 
 import (
@@ -13,7 +14,10 @@ import (
 	"fmt"
 	"os"
 
+	"dcatch/internal/core"
+	"dcatch/internal/hb"
 	"dcatch/internal/obs"
+	"dcatch/internal/serve"
 	"dcatch/internal/trace"
 )
 
@@ -21,6 +25,9 @@ func main() {
 	dump := flag.Bool("dump", false, "dump records")
 	asJSON := flag.Bool("json", false, "emit the whole trace as JSON")
 	n := flag.Int("n", 0, "limit dumped records (0 = all)")
+	analyze := flag.Bool("analyze", false, "run HB trace analysis on the file and print the report")
+	parallel := flag.Int("parallel", 0, "with -analyze: analysis workers (0 = all CPUs)")
+	reach := flag.String("reach", "dense", "with -analyze: reachability backend (dense, chain, auto)")
 	version := flag.Bool("version", false, "print the tool version and exit")
 	flag.Parse()
 	if *version {
@@ -28,7 +35,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dcatch-trace [-dump] [-n N] <trace-file>")
+		fmt.Fprintln(os.Stderr, "usage: dcatch-trace [-dump] [-n N] [-analyze] <trace-file>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -41,6 +48,29 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *analyze {
+		var opts core.Options
+		opts.HB.Parallelism = *parallel
+		opts.Detect.Parallelism = *parallel
+		backend, err := hb.ParseBackend(*reach)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.HB.ReachBackend = backend
+		res, err := core.AnalyzeTrace(tr, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Rendered by the same function dcatch-serve uses for uploaded
+		// traces, so local and served reports are byte-identical.
+		fmt.Print(serve.RenderTrace(res))
+		if res.OOM {
+			os.Exit(1)
+		}
+		return
 	}
 	if *asJSON {
 		if err := tr.EncodeJSON(os.Stdout); err != nil {

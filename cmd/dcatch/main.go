@@ -10,18 +10,27 @@
 //	dcatch -bench MR-3274 -metrics-json run.json -v
 //	dcatch -bench MR-3274 -explain 0
 //	dcatch -bench HB-4729 -dump-structure
+//	dcatch -submit http://127.0.0.1:8080 -bench MR-3274 [-validate] ...
+//
+// With -submit, the job runs on a dcatch-serve instance instead of locally;
+// the fetched report is byte-identical to the local run's output.
+// Introspection flags that need the in-process result (-explain,
+// -trace-out, -metrics-json, -dump-*) stay local-only.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dcatch/internal/bench"
 	"dcatch/internal/core"
 	"dcatch/internal/hb"
 	"dcatch/internal/ir"
 	"dcatch/internal/obs"
+	"dcatch/internal/serve"
 	"dcatch/internal/subjects"
 	"dcatch/internal/trigger"
 )
@@ -42,6 +51,7 @@ func main() {
 		metrics   = flag.String("metrics-json", "", "write a versioned run manifest (spans, counters, stats) to this file")
 		verbose   = flag.Bool("v", false, "log pipeline progress to stderr")
 		explain   = flag.Int("explain", -1, "print the provenance of report pair N (reported pairs first, then pruned candidates) and exit")
+		submit    = flag.String("submit", "", "submit the job to the dcatch-serve instance at this base URL instead of running locally")
 		version   = flag.Bool("version", false, "print the tool version and exit")
 	)
 	flag.Parse()
@@ -54,6 +64,16 @@ func main() {
 		for _, b := range bench.Benchmarks() {
 			fmt.Printf("%-8s %-16s %-30s %s\n", b.ID, b.System, b.WorkloadDesc, b.Symptom)
 		}
+		return
+	}
+	if *submit != "" {
+		runRemote(*submit, *benchID, *seed, serve.JobOptions{
+			Full:        *full,
+			Parallelism: *parallel,
+			Reach:       *reach,
+			Validate:    *validate,
+			Naive:       *naive,
+		}, *explain >= 0 || *traceOut != "" || *metrics != "" || *structure || *program)
 		return
 	}
 	b := findBench(*benchID)
@@ -109,18 +129,18 @@ func main() {
 		return
 	}
 
-	fmt.Println(res.Summary())
 	if res.OOM {
+		fmt.Print(serve.RenderSubject(b, res, nil, false))
 		writeManifest(*metrics, b, res, rec, flagMap(flag.CommandLine))
 		os.Exit(1)
 	}
-	fmt.Println()
-	fmt.Print(res.Final.Format(b.Workload.Program))
-	for i := range res.Final.Pairs {
-		if kind := b.KnownKind(&res.Final.Pairs[i]); kind != "" {
-			fmt.Printf("  [%d] ground truth: %s\n", i, kind)
-		}
+	var vals []trigger.Validation
+	if *validate {
+		vals = core.ValidateAll(res, core.TriggerOptions{MaxSteps: 200_000, Naive: *naive, Obs: rec})
 	}
+	// The report text is rendered by the same function dcatch-serve stores,
+	// so local and served reports are byte-identical by construction.
+	fmt.Print(serve.RenderSubject(b, res, vals, *validate))
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -140,25 +160,61 @@ func main() {
 		fmt.Printf("\ntrace written to %s (%d records)\n", *traceOut, len(res.Trace.Recs))
 	}
 
-	if *validate {
-		fmt.Println("\ntriggering module:")
-		vals := core.ValidateAll(res, core.TriggerOptions{MaxSteps: 200_000, Naive: *naive, Obs: rec})
-		harmful := 0
-		for _, v := range vals {
-			fmt.Printf("  %s\n", v.Summary())
-			for i, p := range v.Placement {
-				if p.Moved != "" {
-					fmt.Printf("    placement[%d]: %s\n", i, p.Moved)
-				}
-			}
-			if v.Verdict == trigger.VerdictHarmful {
-				harmful++
-			}
-		}
-		fmt.Printf("%d/%d reports confirmed harmful\n", harmful, len(vals))
-	}
-
 	writeManifest(*metrics, b, res, rec, flagMap(flag.CommandLine))
+}
+
+// runRemote executes the benchmark on a dcatch-serve instance and prints
+// the fetched report to stdout. Queue-full responses are retried with
+// backoff; job failure exits 1 like a local failure would.
+func runRemote(base, benchID string, seed int64, opt serve.JobOptions, localOnlyFlags bool) {
+	if localOnlyFlags {
+		fmt.Fprintln(os.Stderr, "dcatch: -explain/-trace-out/-metrics-json/-dump-* need the in-process result and cannot be combined with -submit")
+		os.Exit(2)
+	}
+	if benchID == "" {
+		fmt.Fprintln(os.Stderr, "dcatch: -submit needs -bench")
+		os.Exit(2)
+	}
+	req := serve.SubjectRequest{Bench: benchID, Options: opt}
+	if seed != 0 {
+		req.Seeds = []int64{seed}
+	}
+	client := serve.NewClient(base)
+	var st *serve.JobStatus
+	var err error
+	for attempt := 0; ; attempt++ {
+		st, err = client.SubmitSubject(req)
+		if err == nil {
+			break
+		}
+		if serve.IsBusy(err) && attempt < 10 {
+			time.Sleep(time.Duration(attempt+1) * 200 * time.Millisecond)
+			continue
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s as job %s (cache_hit=%v)\n", benchID, st.ID, st.CacheHit)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	st, err = client.Wait(ctx, st.ID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if st.State != serve.StateDone {
+		fmt.Fprintf(os.Stderr, "dcatch: job %s %s: %s\n", st.ID, st.State, st.Error)
+		os.Exit(1)
+	}
+	report, err := client.Report(st.ID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(report)
+	if st.OOM {
+		os.Exit(1)
+	}
 }
 
 // writeManifest exports the run manifest when -metrics-json was given.

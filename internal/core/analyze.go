@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dcatch/internal/detect"
+	"dcatch/internal/hb"
+	"dcatch/internal/trace"
+)
+
+// AnalyzeTrace runs trace analysis alone — HB-graph construction plus
+// candidate detection — on an already-collected trace: the paper's "TA"
+// column of Table 5. There is no workload and no IR here, so the
+// IR-dependent stages (static pruning, the focused loop-sync rerun and
+// Rule-Mpull) are skipped and TA, SP and Final all hold the same report.
+//
+// This is the entry point for traces that arrive from outside the process —
+// dcatch-serve's uploaded-trace jobs and dcatch-trace -analyze — where the
+// run that produced the trace is not reproducible locally. Options is
+// honored for everything that doesn't need the program: HB rule ablation,
+// the reachability backend and memory budget, detection tuning, parallelism
+// and the chunked-analysis fallback; results are byte-identical to the TA
+// stage Detect would compute on the same trace.
+func AnalyzeTrace(tr *trace.Trace, opts Options) (*Result, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("core: AnalyzeTrace: nil trace")
+	}
+	res := &Result{Trace: tr, seed: opts.Seed}
+	rec := opts.Obs
+	res.Stats.TraceRecords = len(tr.Recs)
+	res.Stats.TraceBytes = tr.EncodedSize()
+	rec.Logf("analyze trace %s: %d records", tr.Program, len(tr.Recs))
+
+	sp := rec.Span("core.trace_analysis")
+	t0 := time.Now()
+	cfg := opts.HB
+	cfg.LoopReads = nil
+	cfg.Obs = sp
+	dopt := opts.Detect
+	dopt.Obs = sp
+	g, err := hb.Build(tr, cfg)
+	if err != nil {
+		if opts.ChunkSize <= 0 {
+			res.OOM = true
+			res.Stats.AnalysisTime = time.Since(t0)
+			sp.Attr("oom", true)
+			sp.End()
+			rec.Logf("trace analysis: OUT OF MEMORY (%v)", err)
+			return res, nil
+		}
+		rec.Logf("trace analysis: budget exceeded, falling back to %d-record windows", opts.ChunkSize)
+		chunks, cerr := hb.BuildChunked(tr, hb.ChunkConfig{Base: cfg, ChunkSize: opts.ChunkSize})
+		if cerr != nil {
+			res.OOM = true
+			res.Stats.AnalysisTime = time.Since(t0)
+			sp.Attr("oom", true)
+			sp.End()
+			rec.Logf("chunked analysis: OUT OF MEMORY (%v)", cerr)
+			return res, nil
+		}
+		res.Chunked = true
+		res.TA = detect.FindChunked(chunks, dopt)
+		res.Stats.AnalysisTime = time.Since(t0)
+		res.Stats.HBVertices = len(tr.Recs)
+		res.Stats.HBMemBytes = hb.ChunkedMemBytes(chunks)
+		if len(chunks) > 0 {
+			res.Stats.ReachBackend = chunks[0].Graph.Backend().String()
+		}
+		sp.Attr("chunked", true)
+		sp.End()
+	} else {
+		res.TA = detect.Find(g, dopt)
+		res.Stats.AnalysisTime = time.Since(t0)
+		res.Stats.HBVertices = g.N()
+		res.Stats.HBEdges = g.Edges()
+		res.Stats.HBMemBytes = g.MemBytes()
+		res.Stats.ReachBackend = g.Backend().String()
+		res.Graph = g
+		sp.End()
+	}
+
+	res.SP = res.TA
+	res.Final = res.TA
+	res.Stats.TAStatic = res.TA.StaticCount()
+	res.Stats.TACallstack = res.TA.CallstackCount()
+	res.Stats.SPStatic, res.Stats.SPCallstack = res.Stats.TAStatic, res.Stats.TACallstack
+	res.Stats.LPStatic, res.Stats.LPCallstack = res.Stats.TAStatic, res.Stats.TACallstack
+	res.countStage(rec, "ta", res.TA)
+	res.countStage(rec, "final", res.Final)
+	rec.Logf("trace analysis: %d/%d candidates in %v",
+		res.Stats.TAStatic, res.Stats.TACallstack, res.Stats.AnalysisTime)
+	return res, nil
+}

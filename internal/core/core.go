@@ -397,7 +397,16 @@ func seedOf(res *Result) int64 { return res.seed }
 // Summary renders the pipeline outcome.
 func (r *Result) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "workload %s: ", r.Workload.Name)
+	name := "?"
+	switch {
+	case r.Workload != nil:
+		name = r.Workload.Name
+	case r.Trace != nil:
+		// Trace-only analysis (AnalyzeTrace): the workload never ran here,
+		// but the trace names its program.
+		name = r.Trace.Program
+	}
+	fmt.Fprintf(&b, "workload %s: ", name)
 	if r.OOM {
 		fmt.Fprintf(&b, "trace analysis OUT OF MEMORY (%d records, %d bytes)",
 			r.Stats.TraceRecords, r.Stats.TraceBytes)

@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns a mux serving the Go runtime's pprof profiles
+// (/debug/pprof/) and expvar metrics (/debug/vars). It is the one debug
+// surface every long-lived dcatch process mounts — dcatch-serve on its
+// service mux and dcatch-trigger -debug-addr on a side listener — so a
+// stuck or slow run can be diagnosed in place with the same endpoints
+// everywhere.
+//
+// Handlers are registered on a fresh mux rather than via net/http/pprof's
+// DefaultServeMux side effect, so callers can compose it under a prefix
+// without exposing anything else that happens to be registered globally.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

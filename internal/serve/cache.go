@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the content-addressed report cache: SHA-256 job key → finished
+// job result, with LRU eviction bounded by entry count. Reports for the
+// same content are immutable (analysis is deterministic), so a hit can be
+// served without any staleness question.
+type cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *jobResult
+}
+
+func newCache(max int) *cache {
+	return &cache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *cache) get(key string) (*jobResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores res under key, evicting the least recently used entry when
+// the cache is full. Re-putting an existing key refreshes it.
+func (c *cache) put(key string, res *jobResult) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,405 @@
+// Package serve is dcatch's detection-as-a-service subsystem: a long-running
+// HTTP front-end that accepts many concurrent analysis jobs and runs the
+// existing pipeline behind a bounded worker pool.
+//
+// Race prediction from traces scales by throughput over many traces rather
+// than by any single analysis, so the pipeline that PRs 1–3 made parallel,
+// memory-bounded and observable gets a serving surface here: subject jobs
+// re-run registered benchmarks under arbitrary core.Options (full pipeline,
+// optionally through the triggering module), and trace jobs analyze a
+// client-uploaded binary trace TA-only via core.AnalyzeTrace. Reports are
+// rendered by the same functions the CLI prints through, so a fetched
+// report is byte-identical to the corresponding local run.
+//
+// Load discipline: a bounded queue in front of a CPU-sized worker pool;
+// per-job memory-budget admission against Config.MemBudget so concurrent
+// analyses cannot OOM the process past its budget; HTTP 429 + Retry-After
+// when the queue is full; request-body size limits on uploads; and a
+// content-addressed report cache so identical resubmissions skip analysis
+// entirely. Shutdown drains accepted jobs through lifecycle.Drainer — the
+// same helper the trigger controller server uses.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"dcatch/internal/bench"
+	"dcatch/internal/core"
+	"dcatch/internal/obs"
+	"dcatch/internal/subjects"
+	"dcatch/internal/trace"
+	"dcatch/internal/trigger"
+)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the analysis worker-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running (default 64).
+	QueueDepth int
+	// MemBudget is the server-wide admission budget in bytes: the sum of
+	// running jobs' declared analysis footprints never exceeds it
+	// (0 = unlimited).
+	MemBudget int64
+	// DefaultJobBytes is the admission estimate for jobs that do not
+	// declare their own HB memory budget (default 64 MiB).
+	DefaultJobBytes int64
+	// MaxBodyBytes caps request bodies, i.e. trace uploads (default 64 MiB).
+	MaxBodyBytes int64
+	// CacheEntries bounds the content-addressed report cache (default 256;
+	// negative disables caching).
+	CacheEntries int
+	// Obs receives service counters and progress logs; nil allocates an
+	// internal recorder (exposed via Recorder).
+	Obs *obs.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = defaultWorkers()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultJobBytes <= 0 {
+		c.DefaultJobBytes = 64 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	return c
+}
+
+// Server is the detection service: construct with New, mount Handler on an
+// http.Server, and Shutdown on SIGTERM.
+type Server struct {
+	cfg Config
+	rec *obs.Recorder
+	mgr *manager
+	mux *http.ServeMux
+}
+
+// Servers registered for the shared "dcatch_serve" expvar (expvar.Publish
+// is once-per-process; tests create many servers).
+var (
+	serveExpvarOnce sync.Once
+	serveExpvarMu   sync.Mutex
+	serveServers    []*Server
+)
+
+// New builds a ready-to-serve detection service.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	rec := cfg.Obs
+	if rec == nil {
+		rec = obs.New()
+	}
+	s := &Server{cfg: cfg, rec: rec, mgr: newManager(cfg, rec)}
+	s.routes()
+
+	serveExpvarOnce.Do(func() {
+		expvar.Publish("dcatch_serve", expvar.Func(func() any {
+			serveExpvarMu.Lock()
+			defer serveExpvarMu.Unlock()
+			snaps := make([]map[string]any, 0, len(serveServers))
+			for _, srv := range serveServers {
+				snap := srv.mgr.statsSnapshot()
+				snap["counters"] = srv.rec.Counters()
+				snaps = append(snaps, snap)
+			}
+			return snaps
+		}))
+	})
+	serveExpvarMu.Lock()
+	serveServers = append(serveServers, s)
+	serveExpvarMu.Unlock()
+	return s
+}
+
+// Recorder returns the service's observability recorder (counters such as
+// serve.jobs.submitted, serve.cache.hits, serve.rejected.queue_full).
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains gracefully: intake stops (new submissions get 503),
+// queued and running jobs finish within the context's deadline, workers
+// exit. The server also leaves the shared expvar listing.
+func (s *Server) Shutdown(ctx context.Context) {
+	s.mgr.shutdown(ctx)
+	serveExpvarMu.Lock()
+	for i, srv := range serveServers {
+		if srv == s {
+			serveServers = append(serveServers[:i], serveServers[i+1:]...)
+			break
+		}
+	}
+	serveExpvarMu.Unlock()
+}
+
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("/debug/", obs.DebugMux())
+	s.mux = mux
+}
+
+// writeJSON emits one JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError maps submission errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var (
+		j   *job
+		err error
+	)
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		j, err = s.submitTrace(body, r)
+	} else {
+		j, err = s.submitSubject(body)
+	}
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("serve: request body exceeds %d bytes", tooLarge.Limit)})
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	st := j.status()
+	s.rec.Logf("job %s submitted: %s %s (cache_hit=%v)", st.ID, st.Kind, st.Bench, st.CacheHit)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// submitSubject parses a SubjectRequest and enqueues the full pipeline on
+// the named benchmark.
+func (s *Server) submitSubject(body io.Reader) (*job, error) {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req SubjectRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("serve: bad subject request: %w", err)
+	}
+	b := findBenchmark(req.Bench)
+	if b == nil {
+		return nil, fmt.Errorf("serve: unknown benchmark %q", req.Bench)
+	}
+	opts, err := coreOptions(req.Options)
+	if err != nil {
+		return nil, err
+	}
+	opts.MaxSteps = b.MaxSteps
+	opts.Obs = s.rec
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{b.Seed}
+	}
+	jopt := req.Options
+	run := func() (*jobResult, error) {
+		res, err := core.DetectMulti(b.Workload, seeds, opts)
+		if err != nil {
+			return nil, err
+		}
+		var vals []trigger.Validation
+		if jopt.Validate && !res.OOM {
+			vals = core.ValidateAll(res, core.TriggerOptions{
+				MaxSteps: 200_000, Naive: jopt.Naive, Obs: s.rec,
+			})
+		}
+		report := RenderSubject(b, res, vals, jopt.Validate)
+		stats := res.Stats
+		return &jobResult{report: []byte(report), summary: res.Summary(), stats: &stats, oom: res.OOM}, nil
+	}
+	key := subjectCacheKey(req.Bench, seeds, req.Options)
+	return s.mgr.submit(KindSubject, req.Bench, key, jopt.MemBudget, run)
+}
+
+// submitTrace streams a binary trace out of the request body (hashing the
+// bytes as they pass — the upload is never buffered whole) and enqueues a
+// TA-only analysis. Options ride in query parameters: parallel, reach,
+// mem_budget, chunk_size, max_group.
+func (s *Server) submitTrace(body io.Reader, r *http.Request) (*job, error) {
+	jopt, err := traceQueryOptions(r)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := coreOptions(jopt)
+	if err != nil {
+		return nil, err
+	}
+	opts.Obs = s.rec
+	h := sha256.New()
+	tr, err := trace.Decode(io.TeeReader(body, h))
+	if err != nil {
+		return nil, fmt.Errorf("serve: bad trace upload: %w", err)
+	}
+	// Hash any trailing bytes too, so the content address covers the whole
+	// body independently of the decoder's read chunking.
+	if _, err := io.Copy(h, body); err != nil {
+		return nil, fmt.Errorf("serve: reading trace upload: %w", err)
+	}
+	run := func() (*jobResult, error) {
+		res, err := core.AnalyzeTrace(tr, opts)
+		if err != nil {
+			return nil, err
+		}
+		stats := res.Stats
+		return &jobResult{report: []byte(RenderTrace(res)), summary: res.Summary(), stats: &stats, oom: res.OOM}, nil
+	}
+	key := traceCacheKey(h.Sum(nil), jopt)
+	return s.mgr.submit(KindTrace, tr.Program, key, jopt.MemBudget, run)
+}
+
+// traceQueryOptions parses trace-job options from query parameters.
+func traceQueryOptions(r *http.Request) (JobOptions, error) {
+	var o JobOptions
+	q := r.URL.Query()
+	intQ := func(name string, dst *int) error {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("serve: bad query parameter %s=%q", name, v)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	if err := intQ("parallel", &o.Parallelism); err != nil {
+		return o, err
+	}
+	if err := intQ("chunk_size", &o.ChunkSize); err != nil {
+		return o, err
+	}
+	if err := intQ("max_group", &o.MaxGroup); err != nil {
+		return o, err
+	}
+	if v := q.Get("mem_budget"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return o, fmt.Errorf("serve: bad query parameter mem_budget=%q", v)
+		}
+		o.MemBudget = n
+	}
+	o.Reach = q.Get("reach")
+	return o, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.list())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	st := j.status()
+	switch st.State {
+	case StateDone:
+		j.mu.Lock()
+		report := j.result.report
+		j.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(report)
+	case StateFailed:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: st.Error})
+	case StateCanceled:
+		writeJSON(w, http.StatusConflict, errorBody{Error: "job canceled"})
+	default:
+		writeJSON(w, http.StatusConflict, errorBody{Error: "job not finished: " + st.State})
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.cancelJob(r.PathValue("id")); err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	j, _ := s.mgr.get(r.PathValue("id"))
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.mgr.statsSnapshot()
+	if closing, _ := snap["closing"].(bool); closing {
+		snap["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, snap)
+		return
+	}
+	snap["status"] = "ok"
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// findBenchmark resolves a registered benchmark by ID.
+func findBenchmark(id string) *subjects.Benchmark {
+	for _, b := range bench.Benchmarks() {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}
+
+// WaitTerminal blocks until the job leaves the queue/run states or the
+// context expires; used by in-process callers and tests.
+func (s *Server) WaitTerminal(ctx context.Context, id string) (JobStatus, error) {
+	j, ok := s.mgr.get(id)
+	if !ok {
+		return JobStatus{}, fmt.Errorf("serve: unknown job %s", id)
+	}
+	select {
+	case <-j.done:
+		return j.status(), nil
+	case <-ctx.Done():
+		return j.status(), ctx.Err()
+	}
+}

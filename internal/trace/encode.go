@@ -183,9 +183,12 @@ func Decode(in io.Reader) (*Trace, error) {
 	if nstr > 1<<24 {
 		return nil, fmt.Errorf("trace: unreasonable string table size %d", nstr)
 	}
-	table := make([]string, nstr)
-	for i := range table {
-		table[i] = d.str()
+	// Grow incrementally with a capped initial capacity: the header counts
+	// are attacker-controlled on the dcatch-serve upload path, so a 4-byte
+	// varint must not be able to demand a table-sized allocation up front.
+	table := make([]string, 0, min(nstr, 1<<12))
+	for i := uint64(0); i < nstr && d.err == nil; i++ {
+		table = append(table, d.str())
 	}
 	lookup := func(i uint64) string {
 		if d.err != nil {
@@ -212,7 +215,10 @@ func Decode(in io.Reader) (*Trace, error) {
 	stacks := map[string][]int32{}
 	var scratch []int32
 	var key []byte
-	t.Recs = make([]Rec, 0, n)
+	// Same capped preallocation as the string table: each record is at
+	// least 12 bytes on the wire, so the slice grows against real input,
+	// never against a forged count.
+	t.Recs = make([]Rec, 0, min(n, 1<<16))
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		var r Rec
 		r.Kind = Kind(d.byte())

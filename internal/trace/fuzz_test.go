@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedTrace builds a small but representative trace covering strings,
+// queues, stacks and every varint field, so the fuzzer starts from a valid
+// encoding and mutates toward interesting corruptions.
+func fuzzSeedTrace() *Trace {
+	t := &Trace{
+		Program:        "fuzz-seed",
+		QueueConsumers: map[string]int{"n1/q": 1, "n2/q": 2},
+	}
+	for i := 0; i < 8; i++ {
+		t.Recs = append(t.Recs, Rec{
+			Seq:       uint64(i + 1),
+			Node:      "n1",
+			Thread:    int32(i % 3),
+			Ctx:       int32(i),
+			CtxKind:   CtxKind(i % 5),
+			Kind:      Kind(i % int(numKinds)),
+			Obj:       "obj",
+			Op:        uint64(i),
+			WriterSeq: uint64(i),
+			StaticID:  int32(i - 1), // includes -1
+			Stack:     []int32{1, 2, int32(i)},
+			Queue:     "n1/q",
+		})
+	}
+	return t
+}
+
+// FuzzDecode feeds arbitrary bytes to the binary trace decoder. Decode is
+// the dcatch-serve upload surface: a malformed or truncated body must come
+// back as an error, never as a panic or an attacker-sized allocation (the
+// fuzz engine itself catches panics; the explicit checks assert that
+// successful decodes are self-consistent and re-encodable).
+func FuzzDecode(f *testing.F) {
+	seed := fuzzSeedTrace().Encode()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2]) // truncated mid-stream
+	f.Add(seed[:5])           // header only
+	f.Add([]byte("DCTR"))     // magic without version
+	f.Add([]byte{})
+	// Forged huge counts after a valid prefix.
+	f.Add(append(append([]byte{}, seed[:6]...), 0xff, 0xff, 0xff, 0xff, 0x7f))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must be internally consistent and survive a
+		// round trip through the encoder.
+		for i := range tr.Recs {
+			_ = tr.Recs[i].String()
+		}
+		_ = tr.Stats()
+		re, err := Decode(bytes.NewReader(tr.Encode()))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded trace failed: %v", err)
+		}
+		if len(re.Recs) != len(tr.Recs) {
+			t.Fatalf("round trip changed record count: %d != %d", len(re.Recs), len(tr.Recs))
+		}
+	})
+}
+
+// TestDecodeForgedCountsNoHugeAlloc decodes inputs whose headers claim huge
+// string-table and record counts with no matching payload; they must error
+// out quickly instead of preallocating attacker-sized slices.
+func TestDecodeForgedCountsNoHugeAlloc(t *testing.T) {
+	valid := fuzzSeedTrace().Encode()
+	for _, cut := range []int{6, 10, 14, 20} {
+		if cut > len(valid) {
+			break
+		}
+		forged := append(append([]byte{}, valid[:cut]...),
+			0xff, 0xff, 0xff, 0x7f) // ~256M varint where a count may sit
+		if _, err := Decode(bytes.NewReader(forged)); err == nil {
+			t.Errorf("cut=%d: forged-count input decoded without error", cut)
+		}
+	}
+}

@@ -5,14 +5,16 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"sync"
+
+	"dcatch/internal/obs"
 )
 
 // Debug endpoint for long-lived controller servers: StartDebug serves the Go
 // runtime's pprof profiles (/debug/pprof/) and expvar metrics (/debug/vars)
-// so a stuck or slow timing exploration can be diagnosed in place. The
-// expvar map gains a "dcatch_trigger" variable with a snapshot of every
+// so a stuck or slow timing exploration can be diagnosed in place. The mux
+// is the shared obs.DebugMux — the same surface dcatch-serve mounts — and
+// the expvar map gains a "dcatch_trigger" variable with a snapshot of every
 // registered controller's protocol state.
 
 var (
@@ -48,9 +50,7 @@ func StartDebug(addr string) (string, error) {
 		return "", fmt.Errorf("trigger: debug listen: %w", err)
 	}
 	go func() {
-		// DefaultServeMux carries both the pprof handlers (blank import
-		// above) and expvar's /debug/vars.
-		_ = http.Serve(ln, nil)
+		_ = http.Serve(ln, obs.DebugMux())
 	}()
 	return ln.Addr().String(), nil
 }

@@ -6,6 +6,9 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
+
+	"dcatch/internal/lifecycle"
 )
 
 // Server is the paper's message-controller server (§5.1) as a stand-alone
@@ -22,18 +25,37 @@ import (
 //
 // The server waits for REQUESTs from both parties, grants the configured
 // first party, waits for its CONFIRM, then grants the second.
+//
+// Connections carry read/write deadlines (DefaultIOTimeout unless changed
+// with SetIOTimeout) so a dead client cannot pin a handler goroutine
+// forever, and Close drains in-flight REQUEST/GRANT exchanges through the
+// shared lifecycle.Drainer before returning: pending requests are woken and
+// answered "ERR closing" instead of being abandoned mid-read.
 type Server struct {
 	ln    net.Listener
 	first string // party granted first
 	other string
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	arrived  map[string]chan struct{} // party -> grant channel
-	confirms map[string]bool
-	log      []string
-	closed   bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	arrived   map[string]chan struct{} // party -> grant channel
+	granted   map[string]bool          // party -> scheduler granted it
+	confirms  map[string]bool
+	log       []string
+	closed    bool
+	ioTimeout time.Duration
+
+	drain lifecycle.Drainer
 }
+
+// DefaultIOTimeout is the per-command read deadline and per-response write
+// deadline applied to controller connections. The REQUEST wait for a grant
+// is not limited — a party may legitimately block until the other side of
+// the explored order arrives — only the socket I/O around it is.
+const DefaultIOTimeout = 2 * time.Minute
+
+// drainTimeout bounds how long Close waits for in-flight exchanges.
+const drainTimeout = 5 * time.Second
 
 // NewServer starts a controller on addr (e.g. "127.0.0.1:0"); first and
 // second name the parties in grant order.
@@ -43,11 +65,13 @@ func NewServer(addr, first, second string) (*Server, error) {
 		return nil, fmt.Errorf("trigger: listen: %w", err)
 	}
 	s := &Server{
-		ln:       ln,
-		first:    first,
-		other:    second,
-		arrived:  map[string]chan struct{}{},
-		confirms: map[string]bool{},
+		ln:        ln,
+		first:     first,
+		other:     second,
+		arrived:   map[string]chan struct{}{},
+		granted:   map[string]bool{},
+		confirms:  map[string]bool{},
+		ioTimeout: DefaultIOTimeout,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	go s.acceptLoop()
@@ -55,16 +79,40 @@ func NewServer(addr, first, second string) (*Server, error) {
 	return s, nil
 }
 
+// SetIOTimeout changes the connection read/write deadline (0 disables
+// deadlines). It applies to commands read after the call.
+func (s *Server) SetIOTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.ioTimeout = d
+	s.mu.Unlock()
+}
+
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
+// Close shuts the server down gracefully: the listener stops accepting, the
+// scheduler is released, parties blocked waiting for a GRANT are woken and
+// told "ERR closing", and in-flight exchanges get drainTimeout to finish.
+// Close is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
 	s.closed = true
+	// Wake parties parked on an un-granted REQUEST; granted channels are
+	// already closed by the scheduler.
+	for p, ch := range s.arrived {
+		if !s.granted[p] {
+			close(ch)
+		}
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
-	return s.ln.Close()
+	err := s.ln.Close()
+	s.drain.Close(drainTimeout)
+	return err
 }
 
 // Log returns the order of events the server observed.
@@ -82,6 +130,7 @@ type ServerStats struct {
 	Second    string   `json:"second"`
 	Requests  int      `json:"requests"`
 	Confirms  int      `json:"confirms"`
+	InFlight  int      `json:"in_flight"`
 	Closed    bool     `json:"closed"`
 	EventLog  []string `json:"event_log"`
 	LogLength int      `json:"log_length"`
@@ -97,6 +146,7 @@ func (s *Server) Stats() ServerStats {
 		Second:    s.other,
 		Requests:  len(s.arrived),
 		Confirms:  len(s.confirms),
+		InFlight:  s.drain.InFlight(),
 		Closed:    s.closed,
 		EventLog:  append([]string(nil), s.log...),
 		LogLength: len(s.log),
@@ -113,36 +163,77 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// reply writes one response line under the configured write deadline.
+func (s *Server) reply(conn net.Conn, line string) {
+	s.mu.Lock()
+	t := s.ioTimeout
+	s.mu.Unlock()
+	if t > 0 {
+		conn.SetWriteDeadline(time.Now().Add(t))
+	}
+	fmt.Fprintf(conn, "%s\n", line)
+}
+
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
-	for sc.Scan() {
+	for {
+		s.mu.Lock()
+		t := s.ioTimeout
+		s.mu.Unlock()
+		if t > 0 {
+			conn.SetReadDeadline(time.Now().Add(t))
+		}
+		if !sc.Scan() {
+			return
+		}
 		fields := strings.Fields(sc.Text())
 		if len(fields) != 2 {
-			fmt.Fprintf(conn, "ERR malformed\n")
+			s.reply(conn, "ERR malformed")
 			continue
 		}
 		cmd, party := fields[0], fields[1]
+		if !s.drain.Enter() {
+			s.reply(conn, "ERR closing")
+			return
+		}
 		switch cmd {
 		case "REQUEST":
 			grant := make(chan struct{})
 			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				s.reply(conn, "ERR closing")
+				s.drain.Exit()
+				return
+			}
 			s.arrived[party] = grant
 			s.log = append(s.log, "request "+party)
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			<-grant
-			fmt.Fprintf(conn, "GRANT\n")
+			s.mu.Lock()
+			ok := s.granted[party]
+			s.mu.Unlock()
+			if ok {
+				s.reply(conn, "GRANT")
+			} else {
+				// Woken by Close before the scheduler reached us.
+				s.reply(conn, "ERR closing")
+				s.drain.Exit()
+				return
+			}
 		case "CONFIRM":
 			s.mu.Lock()
 			s.confirms[party] = true
 			s.log = append(s.log, "confirm "+party)
 			s.cond.Broadcast()
 			s.mu.Unlock()
-			fmt.Fprintf(conn, "OK\n")
+			s.reply(conn, "OK")
 		default:
-			fmt.Fprintf(conn, "ERR unknown command\n")
+			s.reply(conn, "ERR unknown command")
 		}
+		s.drain.Exit()
 	}
 }
 
@@ -160,11 +251,13 @@ func (s *Server) scheduler() {
 	if !wait(func() bool { return s.arrived[s.first] != nil && s.arrived[s.other] != nil }) {
 		return
 	}
+	s.granted[s.first] = true
 	close(s.arrived[s.first])
 	s.log = append(s.log, "grant "+s.first)
 	if !wait(func() bool { return s.confirms[s.first] }) {
 		return
 	}
+	s.granted[s.other] = true
 	close(s.arrived[s.other])
 	s.log = append(s.log, "grant "+s.other)
 }
