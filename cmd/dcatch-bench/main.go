@@ -8,8 +8,10 @@
 //	dcatch-bench -table 5              # one table
 //	dcatch-bench -bench-json           # measure the pipeline, write BENCH_pipeline.json
 //	dcatch-bench -records 50000        # backend scaling smoke: exit 1 if reports diverge
-//	dcatch-bench -bench-json -records 100000,300000,1000000
-//	                                   # pipeline + memory-scaling sweep in one file
+//	dcatch-bench -detect-records 50000 # scan-mode smoke: exit 1 if reports diverge or
+//	                                   # the interval scan shows no HB-query win
+//	dcatch-bench -bench-json -records 100000,300000,1000000 -detect-records 10000,50000,100000
+//	                                   # pipeline + both sweeps in one file
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "pipeline workers for -bench-json: 0 = all CPUs")
 		sweep     = flag.String("records", "", "comma-separated trace sizes for the backend memory-scaling sweep (dense vs chain at parallelism 1 and 8); exits 1 if any report diverges")
 		budget    = flag.Int64("bench-budget", 2<<30, "with -records: analysis memory budget in bytes")
+		detSweep  = flag.String("detect-records", "", "comma-separated trace sizes for the detect scan-mode sweep (quadratic vs interval); exits 1 on report divergence or if the interval scan issues >= as many HB queries")
 		version   = flag.Bool("version", false, "print the tool version and exit")
 	)
 	flag.Parse()
@@ -42,8 +45,8 @@ func main() {
 		fmt.Println(obs.Version())
 		return
 	}
-	if *benchJSON || *sweep != "" {
-		file := &bench.BenchFile{SchemaVersion: 2}
+	if *benchJSON || *sweep != "" || *detSweep != "" {
+		file := &bench.BenchFile{SchemaVersion: 3}
 		if *benchJSON {
 			p := *parallel
 			if p <= 0 {
@@ -55,11 +58,17 @@ func main() {
 				os.Exit(1)
 			}
 			file.Pipeline = res
-			fmt.Printf("pipeline: %d records, window %d, %d workers: seq %.1fms (build %.1f + detect %.1f), par %.1fms, speedup %.2fx, peak reach %.1fMB, identical=%v\n",
-				res.Records, res.ChunkSize, res.Parallelism,
-				res.SeqBuildMs+res.SeqDetectMs, res.SeqBuildMs, res.SeqDetectMs,
-				res.ParBuildMs+res.ParDetectMs, res.Speedup,
+			fmt.Printf("pipeline: %d records, window %d, %s scan: seq(p=%d) %.1fms (build %.1f + detect %.1f), quad detect %.1fms (%.2fx), par(p=%d) %.1fms, speedup %.2fx, peak reach %.1fMB, identical=%v\n",
+				res.Records, res.ChunkSize, res.ScanMode,
+				res.SeqParallelism, res.SeqBuildMs+res.SeqDetectMs, res.SeqBuildMs, res.SeqDetectMs,
+				res.QuadDetectMs, res.DetectSpeedup,
+				res.ParParallelism, res.ParBuildMs+res.ParDetectMs, res.Speedup,
 				float64(res.PeakReachBytes)/(1<<20), res.Identical)
+			if res.Speedup < 1 {
+				fmt.Fprintf(os.Stderr, "WARNING: parallel leg (%d workers) slower than sequential leg (%d worker): %.1fms vs %.1fms\n",
+					res.ParParallelism, res.SeqParallelism,
+					res.ParBuildMs+res.ParDetectMs, res.SeqBuildMs+res.SeqDetectMs)
+			}
 		}
 		var sweepErr error
 		if *sweep != "" {
@@ -74,6 +83,22 @@ func main() {
 			file.Scaling, sweepErr = bench.RunScalingSweep(sizes, *budget, 42, logf)
 			if file.Scaling == nil {
 				fmt.Fprintln(os.Stderr, sweepErr)
+				os.Exit(1)
+			}
+		}
+		var detErr error
+		if *detSweep != "" {
+			sizes, err := parseSizes(*detSweep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			logf := func(format string, args ...any) {
+				fmt.Printf("detect: "+format+"\n", args...)
+			}
+			file.DetectScaling, detErr = bench.RunDetectSweep(sizes, 42, logf)
+			if file.DetectScaling == nil {
+				fmt.Fprintln(os.Stderr, detErr)
 				os.Exit(1)
 			}
 		}
@@ -95,6 +120,10 @@ func main() {
 		}
 		if sweepErr != nil {
 			fmt.Fprintf(os.Stderr, "ERROR: %v\n", sweepErr)
+			os.Exit(1)
+		}
+		if detErr != nil {
+			fmt.Fprintf(os.Stderr, "ERROR: %v\n", detErr)
 			os.Exit(1)
 		}
 		return

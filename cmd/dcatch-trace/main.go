@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"dcatch/internal/core"
+	"dcatch/internal/detect"
 	"dcatch/internal/hb"
 	"dcatch/internal/obs"
 	"dcatch/internal/serve"
@@ -28,6 +29,7 @@ func main() {
 	analyze := flag.Bool("analyze", false, "run HB trace analysis on the file and print the report")
 	parallel := flag.Int("parallel", 0, "with -analyze: analysis workers (0 = all CPUs)")
 	reach := flag.String("reach", "dense", "with -analyze: reachability backend (dense, chain, auto)")
+	scan := flag.String("scan", "auto", "with -analyze: detection scan (auto, interval, quadratic)")
 	version := flag.Bool("version", false, "print the tool version and exit")
 	flag.Parse()
 	if *version {
@@ -59,6 +61,12 @@ func main() {
 			os.Exit(2)
 		}
 		opts.HB.ReachBackend = backend
+		scanMode, err := detect.ParseScanMode(*scan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Detect.Scan = scanMode
 		res, err := core.AnalyzeTrace(tr, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

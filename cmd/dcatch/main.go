@@ -27,6 +27,7 @@ import (
 
 	"dcatch/internal/bench"
 	"dcatch/internal/core"
+	"dcatch/internal/detect"
 	"dcatch/internal/hb"
 	"dcatch/internal/ir"
 	"dcatch/internal/obs"
@@ -48,6 +49,7 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write the binary trace to this file")
 		parallel  = flag.Int("parallel", 0, "trace-analysis workers: 0 = all CPUs, 1 = sequential reference path (reports are identical either way)")
 		reach     = flag.String("reach", "dense", "reachability backend: dense (paper bit arrays), chain (O(V*C) chain index), or auto (dense if it fits the memory budget, else chain)")
+		scan      = flag.String("scan", "auto", "detection scan: auto, interval (per-chain concurrency intervals), or quadratic (all-pairs reference; reports are identical either way)")
 		metrics   = flag.String("metrics-json", "", "write a versioned run manifest (spans, counters, stats) to this file")
 		verbose   = flag.Bool("v", false, "log pipeline progress to stderr")
 		explain   = flag.Int("explain", -1, "print the provenance of report pair N (reported pairs first, then pruned candidates) and exit")
@@ -71,6 +73,7 @@ func main() {
 			Full:        *full,
 			Parallelism: *parallel,
 			Reach:       *reach,
+			Scan:        *scan,
 			Validate:    *validate,
 			Naive:       *naive,
 		}, *explain >= 0 || *traceOut != "" || *metrics != "" || *structure || *program)
@@ -99,6 +102,12 @@ func main() {
 		os.Exit(2)
 	}
 	opts.HB.ReachBackend = backend
+	scanMode, err := detect.ParseScanMode(*scan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts.Detect.Scan = scanMode
 	if *seed != 0 {
 		opts.Seed = *seed
 	}

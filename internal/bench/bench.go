@@ -491,14 +491,13 @@ func diffStatic(full, ablated *detect.Report) (fn, fp int) {
 }
 
 func diffCallstack(full, ablated *detect.Report) (fn, fp int) {
-	key := func(p *detect.Pair) string { return p.AStack + "||" + p.BStack }
-	f := map[string]bool{}
+	f := map[detect.CallstackKey]bool{}
 	for i := range full.Pairs {
-		f[key(&full.Pairs[i])] = true
+		f[full.Pairs[i].CallstackKey()] = true
 	}
-	a := map[string]bool{}
+	a := map[detect.CallstackKey]bool{}
 	for i := range ablated.Pairs {
-		a[key(&ablated.Pairs[i])] = true
+		a[ablated.Pairs[i].CallstackKey()] = true
 	}
 	for k := range f {
 		if !a[k] {

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dcatch/internal/detect"
+	"dcatch/internal/hb"
+	"dcatch/internal/obs"
+)
+
+// The detect-stage scaling sweep measures the two scan modes against each
+// other across growing bounded-context traces: the quadratic reference pays
+// one reachability query per conflicting cross-context pair, while the
+// interval scan pays boundary lookups per (access, chain) — zero point
+// queries on the chain backend. Every run's report is cross-checked
+// byte-for-byte against the quadratic parallelism-1 reference, and the
+// sweep fails if the interval scan ever issues at least as many queries as
+// the quadratic one (the CI smoke gate).
+
+// DetectRun is one (scan mode, parallelism) measurement at one trace size.
+type DetectRun struct {
+	ScanMode    string `json:"scan_mode"`
+	Parallelism int    `json:"parallelism"`
+
+	DetectMs float64 `json:"detect_ms"`
+
+	// HBQueries is the detect.hb_queries counter: point reachability
+	// queries issued during the scan. IntervalLookups counts boundary
+	// lookups (interval mode only).
+	HBQueries       int64 `json:"hb_queries"`
+	IntervalLookups int64 `json:"interval_lookups,omitempty"`
+
+	Candidates int `json:"candidates"`
+
+	// Identical asserts this run's report rendered byte-identically to the
+	// sweep's reference run (quadratic scan, parallelism 1).
+	Identical bool `json:"reports_identical"`
+}
+
+// DetectPoint groups the runs at one trace size. QueryRatio is
+// quadratic/interval HB queries at parallelism 1 (0 when the interval scan
+// issued none, as on the chain backend).
+type DetectPoint struct {
+	Records      int         `json:"records"`
+	DynamicPairs int64       `json:"dynamic_pairs"`
+	QueryRatio   float64     `json:"query_ratio,omitempty"`
+	Runs         []DetectRun `json:"runs"`
+}
+
+// DetectSweep is the full -detect-records sweep, serialized into
+// BENCH_pipeline.json.
+type DetectSweep struct {
+	Backend  string        `json:"backend"`
+	MaxGroup int           `json:"max_group"`
+	Seed     int64         `json:"seed"`
+	Points   []DetectPoint `json:"points"`
+}
+
+// RunDetectSweep measures both detection scan modes on a bounded-context
+// synthetic trace of each given size, over one chain-backend HB graph per
+// size (the backend whose boundary fast path the interval scan exploits;
+// dense grows O(V²) and would not fit the larger sizes). It returns an
+// error if any run's report diverges from the quadratic parallelism-1
+// reference, or if the interval scan did not issue strictly fewer HB
+// queries than the quadratic one.
+func RunDetectSweep(sizes []int, seed int64, logf func(format string, args ...any)) (*DetectSweep, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sweep := &DetectSweep{
+		Backend:  hb.BackendChain.String(),
+		MaxGroup: scalingMaxGroup,
+		Seed:     seed,
+	}
+	for _, n := range sizes {
+		tr := SyntheticTraceBounded(n, seed)
+		g, err := hb.Build(tr, hb.Config{ReachBackend: hb.BackendChain})
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %d-record graph: %w", n, err)
+		}
+		point := DetectPoint{Records: n}
+		var reference string
+		var quadQueries, intervalQueries int64
+		for _, rc := range []struct {
+			mode detect.ScanMode
+			par  int
+		}{
+			{detect.ScanQuadratic, 1}, // the reference run
+			{detect.ScanInterval, 1},
+			{detect.ScanInterval, 8},
+		} {
+			rec := obs.New()
+			sp := rec.Span("bench.detect_sweep")
+			t0 := time.Now()
+			rep := detect.Find(g, detect.Options{
+				MaxGroup:    scalingMaxGroup,
+				Parallelism: rc.par,
+				Scan:        rc.mode,
+				Obs:         sp,
+			})
+			run := DetectRun{
+				ScanMode:    rc.mode.String(),
+				Parallelism: rc.par,
+				DetectMs:    float64(time.Since(t0).Microseconds()) / 1000,
+			}
+			sp.End()
+			counters := rec.Counters()
+			run.HBQueries = counters["detect.hb_queries"]
+			run.IntervalLookups = counters["detect.interval_lookups"]
+			run.Candidates = rep.CallstackCount()
+			format := rep.Format(nil)
+			if reference == "" {
+				reference = format
+				run.Identical = true
+				quadQueries = run.HBQueries
+				point.DynamicPairs = counters["detect.dynamic_pairs"]
+			} else {
+				run.Identical = format == reference
+			}
+			if rc.mode != detect.ScanQuadratic && rc.par == 1 {
+				intervalQueries = run.HBQueries
+			}
+			logf("%d records, %s p%d: detect %.0fms, %d hb queries, %d candidates, identical=%v",
+				n, run.ScanMode, rc.par, run.DetectMs, run.HBQueries, run.Candidates, run.Identical)
+			point.Runs = append(point.Runs, run)
+			if !run.Identical {
+				sweep.Points = append(sweep.Points, point)
+				return sweep, fmt.Errorf("bench: %s p%d report diverged from quadratic p1 at %d records",
+					run.ScanMode, rc.par, n)
+			}
+		}
+		if intervalQueries > 0 {
+			point.QueryRatio = float64(quadQueries) / float64(intervalQueries)
+		}
+		sweep.Points = append(sweep.Points, point)
+		if intervalQueries >= quadQueries && quadQueries > 0 {
+			return sweep, fmt.Errorf("bench: interval scan issued %d HB queries, quadratic %d at %d records — no query win",
+				intervalQueries, quadQueries, n)
+		}
+	}
+	return sweep, nil
+}

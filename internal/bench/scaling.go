@@ -145,12 +145,15 @@ func RunScalingSweep(sizes []int, budget, seed int64, logf func(format string, a
 	return sweep, nil
 }
 
-// BenchFile is the BENCH_pipeline.json schema (version 2): the original
-// chunked-pipeline measurement plus the backend memory-scaling sweep.
+// BenchFile is the BENCH_pipeline.json schema (version 3): the
+// chunked-pipeline measurement (now with per-leg worker counts, both scan
+// modes and HB-query counters), the backend memory-scaling sweep, and the
+// detect-stage scan-mode sweep.
 type BenchFile struct {
 	SchemaVersion int                  `json:"schema_version"`
 	Pipeline      *PipelineBenchResult `json:"pipeline,omitempty"`
 	Scaling       *ScalingSweep        `json:"scaling,omitempty"`
+	DetectScaling *DetectSweep         `json:"detect_scaling,omitempty"`
 }
 
 // JSON renders the bench file.

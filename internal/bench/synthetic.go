@@ -251,11 +251,22 @@ func SyntheticTraceBounded(n int, seed int64) *trace.Trace {
 
 // PipelineBenchResult is one synthetic trace-analysis measurement,
 // serialized by cmd/dcatch-bench -bench-json so the perf trajectory is
-// tracked across PRs (BENCH_pipeline.json).
+// tracked across PRs (BENCH_pipeline.json). Three legs run on the same
+// trace: the sequential interval pipeline (the reference timing), the
+// sequential quadratic detect pass on the very same chunks (the scan-mode
+// baseline), and the parallel interval pipeline.
 type PipelineBenchResult struct {
-	Records     int `json:"records"`
-	ChunkSize   int `json:"chunk_size"`
-	Parallelism int `json:"parallelism"`
+	Records   int `json:"records"`
+	ChunkSize int `json:"chunk_size"`
+
+	// Worker counts actually used by each leg. Schema v2 recorded a single
+	// "parallelism" knob that named neither leg's worker count.
+	SeqParallelism int `json:"seq_parallelism"`
+	ParParallelism int `json:"par_parallelism"`
+
+	// ScanMode is the detection scan the seq/par legs use; QuadDetectMs
+	// below always measures the quadratic reference oracle.
+	ScanMode string `json:"scan_mode"`
 
 	// Wall-clock milliseconds for the chunked pipeline: HB graph build +
 	// reachability closure (Build) and candidate detection (Detect).
@@ -264,14 +275,27 @@ type PipelineBenchResult struct {
 	ParBuildMs  float64 `json:"par_build_ms"`
 	ParDetectMs float64 `json:"par_detect_ms"`
 
-	// Speedup is sequential / parallel total wall time.
-	Speedup float64 `json:"speedup"`
+	// QuadDetectMs is sequential quadratic-scan detection over the
+	// sequential leg's chunks — the pre-interval baseline.
+	QuadDetectMs float64 `json:"quad_detect_ms"`
+
+	// Speedup is sequential / parallel total wall time; DetectSpeedup is
+	// quadratic / interval sequential detect time (the scan-mode win).
+	Speedup       float64 `json:"speedup"`
+	DetectSpeedup float64 `json:"detect_speedup"`
+
+	// HB reachability queries issued by detection under each scan mode,
+	// and the number of per-(access, chain) boundary lookups the interval
+	// scan replaced them with.
+	HBQueriesInterval  int64 `json:"hb_queries_interval"`
+	HBQueriesQuadratic int64 `json:"hb_queries_quadratic"`
+	IntervalLookups    int64 `json:"interval_lookups"`
 
 	// PeakReachBytes is the largest per-window reachability footprint.
 	PeakReachBytes int64 `json:"peak_reach_bytes"`
 
-	// Candidates is the merged callstack-pair count; Identical asserts the
-	// parallel report rendered byte-identically to the sequential one.
+	// Candidates is the merged callstack-pair count; Identical asserts all
+	// three legs rendered byte-identical reports.
 	Candidates int  `json:"candidates"`
 	Identical  bool `json:"reports_identical"`
 
@@ -284,48 +308,76 @@ type PipelineBenchResult struct {
 
 // RunPipelineBench measures the chunked analysis pipeline (hb.BuildChunked +
 // detect.FindChunked) on a SyntheticTrace at Parallelism 1 and at the given
-// parallelism, and cross-checks that both render identical reports.
+// parallelism, plus a sequential quadratic-scan detect pass as the scan-mode
+// baseline, and cross-checks that all legs render identical reports.
 func RunPipelineBench(records, chunkSize, parallelism int, seed int64) (*PipelineBenchResult, error) {
 	tr := SyntheticTrace(records, seed)
-	run := func(p int, rec *obs.Recorder) (buildMs, detectMs float64, peak int64, rep *detect.Report, err error) {
+	build := func(p int, rec *obs.Recorder) (buildMs float64, chunks []hb.Chunk, err error) {
 		bsp := rec.Span("bench.build")
 		t0 := time.Now()
-		chunks, err := hb.BuildChunked(tr, hb.ChunkConfig{
+		chunks, err = hb.BuildChunked(tr, hb.ChunkConfig{
 			Base:      hb.Config{Parallelism: p, Obs: bsp},
 			ChunkSize: chunkSize,
 		})
 		bsp.End()
 		if err != nil {
-			return 0, 0, 0, nil, err
+			return 0, nil, err
 		}
-		buildMs = float64(time.Since(t0).Microseconds()) / 1000
+		return float64(time.Since(t0).Microseconds()) / 1000, chunks, nil
+	}
+	det := func(chunks []hb.Chunk, p int, mode detect.ScanMode, rec *obs.Recorder) (detectMs float64, rep *detect.Report) {
 		dsp := rec.Span("bench.detect")
-		t0 = time.Now()
-		rep = detect.FindChunked(chunks, detect.Options{Parallelism: p, Obs: dsp})
+		t0 := time.Now()
+		rep = detect.FindChunked(chunks, detect.Options{Parallelism: p, Scan: mode, Obs: dsp})
 		dsp.End()
-		detectMs = float64(time.Since(t0).Microseconds()) / 1000
-		return buildMs, detectMs, hb.ChunkedMemBytes(chunks), rep, nil
+		return float64(time.Since(t0).Microseconds()) / 1000, rep
 	}
 
-	res := &PipelineBenchResult{Records: records, ChunkSize: chunkSize, Parallelism: parallelism}
-	var seqRep, parRep *detect.Report
-	var err error
-	if res.SeqBuildMs, res.SeqDetectMs, res.PeakReachBytes, seqRep, err = run(1, nil); err != nil {
+	res := &PipelineBenchResult{
+		Records: records, ChunkSize: chunkSize,
+		SeqParallelism: 1, ParParallelism: parallelism,
+		ScanMode: detect.ScanInterval.String(),
+	}
+	// Every leg carries a recorder: the detect.hb_queries counters are part
+	// of the measurement (recording never changes reports).
+	seqRec := obs.New()
+	seqBuildMs, seqChunks, err := build(1, seqRec)
+	if err != nil {
 		return nil, fmt.Errorf("bench: sequential pipeline: %w", err)
 	}
-	// The parallel run carries a recorder so BENCH_pipeline.json includes
-	// stage spans and per-rule counters (recording never changes reports).
-	rec := obs.New()
-	if res.ParBuildMs, res.ParDetectMs, _, parRep, err = run(parallelism, rec); err != nil {
+	res.SeqBuildMs = seqBuildMs
+	res.PeakReachBytes = hb.ChunkedMemBytes(seqChunks)
+	var seqRep *detect.Report
+	res.SeqDetectMs, seqRep = det(seqChunks, 1, detect.ScanInterval, seqRec)
+	res.HBQueriesInterval = seqRec.Counters()["detect.hb_queries"]
+	res.IntervalLookups = seqRec.Counters()["detect.interval_lookups"]
+
+	// Quadratic baseline: same chunks, sequential, reference scan.
+	quadRec := obs.New()
+	quadMs, quadRep := det(seqChunks, 1, detect.ScanQuadratic, quadRec)
+	res.QuadDetectMs = quadMs
+	res.HBQueriesQuadratic = quadRec.Counters()["detect.hb_queries"]
+
+	parRec := obs.New()
+	parBuildMs, parChunks, err := build(parallelism, parRec)
+	if err != nil {
 		return nil, fmt.Errorf("bench: parallel pipeline: %w", err)
 	}
+	res.ParBuildMs = parBuildMs
+	var parRep *detect.Report
+	res.ParDetectMs, parRep = det(parChunks, parallelism, detect.ScanInterval, parRec)
+
 	res.Candidates = parRep.CallstackCount()
-	res.Identical = seqRep.Format(nil) == parRep.Format(nil)
+	seqText := seqRep.Format(nil)
+	res.Identical = seqText == parRep.Format(nil) && seqText == quadRep.Format(nil)
 	if par := res.ParBuildMs + res.ParDetectMs; par > 0 {
 		res.Speedup = (res.SeqBuildMs + res.SeqDetectMs) / par
 	}
-	res.Stages = rec.Spans(2)
-	res.Counters = rec.Counters()
+	if res.SeqDetectMs > 0 {
+		res.DetectSpeedup = res.QuadDetectMs / res.SeqDetectMs
+	}
+	res.Stages = parRec.Spans(2)
+	res.Counters = parRec.Counters()
 	return res, nil
 }
 

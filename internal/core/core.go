@@ -338,15 +338,17 @@ func (r *Result) countStage(rec *obs.Recorder, stage string, rep *detect.Report)
 }
 
 // intersect keeps the pairs of a that also appear (by callstack identity)
-// in b.
+// in b. Identity is the two-sided CallstackKey, not a joined string: joining
+// the stacks with a separator collided whenever a stack rendering itself
+// contained the separator.
 func intersect(a, b *detect.Report) *detect.Report {
-	keys := map[string]bool{}
+	keys := map[detect.CallstackKey]bool{}
 	for i := range b.Pairs {
-		keys[b.Pairs[i].AStack+"||"+b.Pairs[i].BStack] = true
+		keys[b.Pairs[i].CallstackKey()] = true
 	}
 	out := &detect.Report{}
 	for i := range a.Pairs {
-		if keys[a.Pairs[i].AStack+"||"+a.Pairs[i].BStack] {
+		if keys[a.Pairs[i].CallstackKey()] {
 			out.Pairs = append(out.Pairs, a.Pairs[i])
 		}
 	}
@@ -430,7 +432,7 @@ func DetectMulti(w *rt.Workload, seeds []int64, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: DetectMulti needs at least one seed")
 	}
 	var first *Result
-	seen := map[string]bool{}
+	seen := map[detect.CallstackKey]bool{}
 	for _, seed := range seeds {
 		o := opts
 		o.Seed = seed
@@ -444,13 +446,13 @@ func DetectMulti(w *rt.Workload, seeds []int64, opts Options) (*Result, error) {
 		if first == nil {
 			first = res
 			for i := range first.Final.Pairs {
-				seen[first.Final.Pairs[i].AStack+"||"+first.Final.Pairs[i].BStack] = true
+				seen[first.Final.Pairs[i].CallstackKey()] = true
 			}
 			continue
 		}
 		for i := range res.Final.Pairs {
 			p := res.Final.Pairs[i]
-			key := p.AStack + "||" + p.BStack
+			key := p.CallstackKey()
 			if !seen[key] {
 				seen[key] = true
 				first.Final.Pairs = append(first.Final.Pairs, p)

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"dcatch/internal/detect"
 	"dcatch/internal/hb"
 	"dcatch/internal/ir"
 	"dcatch/internal/rt"
@@ -252,5 +253,23 @@ func TestDetectMultiUnions(t *testing.T) {
 	}
 	if _, err := DetectMulti(w, nil, Options{}); err == nil {
 		t.Fatal("empty seed list accepted")
+	}
+}
+
+func TestIntersectKeepsCollidingStacksDistinct(t *testing.T) {
+	// Regression: intersect used to key pairs on AStack+"||"+BStack, which
+	// folded distinct pairs whose joined renderings coincide. Only the
+	// second pair below appears in both reports; the first must not ride
+	// along on a collided key.
+	collideA := detect.Pair{Obj: "n/x", AStack: "x||y", BStack: "z"}
+	collideB := detect.Pair{Obj: "n/x", AStack: "x", BStack: "y||z"}
+	a := &detect.Report{Pairs: []detect.Pair{collideA, collideB}}
+	b := &detect.Report{Pairs: []detect.Pair{collideB}}
+	got := intersect(a, b)
+	if len(got.Pairs) != 1 {
+		t.Fatalf("intersect kept %d pairs, want 1: %+v", len(got.Pairs), got.Pairs)
+	}
+	if got.Pairs[0].AStack != "x" || got.Pairs[0].BStack != "y||z" {
+		t.Fatalf("intersect kept the wrong pair: %+v", got.Pairs[0])
 	}
 }

@@ -22,20 +22,20 @@ type explained struct {
 	fate string
 }
 
-func pairKey(p *detect.Pair) string { return p.AStack + "||" + p.BStack }
+func pairKey(p *detect.Pair) detect.CallstackKey { return p.CallstackKey() }
 
 // explainList orders every candidate the pipeline saw: reported pairs first,
 // then pruned ones.
 func (r *Result) explainList() []explained {
 	var out []explained
-	inFinal := map[string]bool{}
+	inFinal := map[detect.CallstackKey]bool{}
 	if r.Final != nil {
 		for i := range r.Final.Pairs {
 			inFinal[pairKey(&r.Final.Pairs[i])] = true
 			out = append(out, explained{r.Final.Pairs[i], fateReported})
 		}
 	}
-	inSP := map[string]bool{}
+	inSP := map[detect.CallstackKey]bool{}
 	if r.SP != nil {
 		for i := range r.SP.Pairs {
 			inSP[pairKey(&r.SP.Pairs[i])] = true

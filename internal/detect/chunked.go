@@ -8,22 +8,25 @@ import (
 )
 
 // FindChunked runs detection over a chunked HB analysis (hb.BuildChunked)
-// and merges the per-window reports: the memory-bounded fallback for traces
-// whose full reachability closure does not fit (paper §7.2). Candidate
-// pairs spanning more than one window are missed — the approach's
+// and merges the per-window candidate maps: the memory-bounded fallback for
+// traces whose full reachability closure does not fit (paper §7.2).
+// Candidate pairs spanning more than one window are missed — the approach's
 // documented trade-off — but a pair concurrent within some window is a true
 // candidate of the full graph as well.
 //
 // Windows are scanned independently — concurrently when Options.Parallelism
-// is not 1 — and merged in window order, so the report is identical to the
-// sequential path's: the first window containing a callstack pair provides
-// its representative records and Dynamic counts are summed.
+// is not 1 — and merged in window order, so the report is deterministic: the
+// first window containing a callstack pair provides its representative
+// records and Dynamic counts are summed. The merged pairs are rendered in
+// the canonical report order (ascending representative records), same as
+// Find.
 func FindChunked(chunks []hb.Chunk, opts Options) *Report {
 	sp := opts.Obs.Child("detect.find_chunked")
 	sp.Attr("windows", len(chunks))
 	defer sp.End()
 	opts.Obs = sp // per-window detect.find spans nest under this one
-	reps := make([]*Report, len(chunks))
+	maps := make([]map[uint64]*foundPair, len(chunks))
+	tabs := make([]*internTable, len(chunks))
 	if p := opts.workers(); p > 1 && len(chunks) > 1 {
 		if p > len(chunks) {
 			p = len(chunks)
@@ -42,41 +45,65 @@ func FindChunked(chunks []hb.Chunk, opts Options) *Report {
 					if i >= len(chunks) {
 						return
 					}
-					reps[i] = Find(chunks[i].Graph, inner)
+					maps[i], tabs[i] = findMap(chunks[i].Graph, inner)
 				}
 			}()
 		}
 		wg.Wait()
 	} else {
 		for i := range chunks {
-			reps[i] = Find(chunks[i].Graph, opts)
+			maps[i], tabs[i] = findMap(chunks[i].Graph, opts)
 		}
 	}
 
-	merged := map[string]*Pair{}
-	var order []string
-	for ci, ch := range chunks {
-		rep := reps[ci]
-		for i := range rep.Pairs {
-			p := rep.Pairs[i]
-			// Rebase representative record indices onto the full
-			// trace.
-			p.ARec += ch.Start
-			p.BRec += ch.Start
-			key := p.AStack + "||" + p.BStack
-			if ex, ok := merged[key]; ok {
-				ex.Dynamic += p.Dynamic
-			} else {
-				pc := p
-				merged[key] = &pc
-				order = append(order, key)
+	// Each window interned its stacks independently, so its packed-ID keys
+	// are not comparable across windows. Remapping every window ID onto a
+	// shared intern table costs one string lookup per distinct stack per
+	// window — after which the cross-window merge stays on packed integer
+	// keys instead of hashing the callstack strings of every candidate.
+	global := map[string]int32{}
+	remaps := make([][]int32, len(chunks))
+	for ci, tab := range tabs {
+		remap := make([]int32, len(tab.strs))
+		for id, s := range tab.strs {
+			gid, ok := global[s]
+			if !ok {
+				gid = int32(len(global))
+				global[s] = gid
 			}
+			remap[id] = gid
+		}
+		remaps[ci] = remap
+	}
+
+	// The per-window scans are done, so the merge owns every entry and can
+	// adopt pointers from the window maps instead of copying pairs.
+	size := 0
+	for _, m := range maps {
+		size += len(m)
+	}
+	merged := make(map[uint64]*foundPair, size)
+	for ci := range chunks {
+		start := chunks[ci].Start
+		remap := remaps[ci]
+		for k, fp := range maps[ci] {
+			gk := packStackIDs(remap[k>>32], remap[k&0xffffffff])
+			if ex, ok := merged[gk]; ok {
+				ex.pair.Dynamic += fp.pair.Dynamic
+				continue
+			}
+			// Rebase representative record indices onto the full trace;
+			// rep feeds the merged report's sort order and must be global
+			// too. Both packed halves shift by start, and the low half
+			// cannot carry into the high one (trace indices fit in 32
+			// bits), so one addition rebases both.
+			fp.pair.ARec += start
+			fp.pair.BRec += start
+			fp.rep += int64(start)<<32 + int64(start)
+			merged[gk] = fp
 		}
 	}
-	out := &Report{}
-	for _, k := range order {
-		out.Pairs = append(out.Pairs, *merged[k])
-	}
+	out := reportFromMap(merged, sp)
 	sp.Attr("merged_candidates", len(out.Pairs))
 	sp.Count("detect.merged_candidates", int64(len(out.Pairs)))
 	return out

@@ -58,6 +58,20 @@ func (p *Pair) StaticKey() string {
 	return fmt.Sprintf("%d|%d", a, b)
 }
 
+// CallstackKey is the callstack-pair identity of a Pair, usable as a map
+// key. It replaces the old `AStack + "||" + BStack` string keys, which were
+// ambiguous whenever a stack string itself contained "||" ("x||y"+"z" and
+// "x"+"y||z" collided); a struct key keeps the two sides separate.
+type CallstackKey struct {
+	AStack, BStack string
+}
+
+// CallstackKey returns the pair's callstack identity. A and B are already
+// canonically ordered, so equal keys mean equal pairs.
+func (p *Pair) CallstackKey() CallstackKey {
+	return CallstackKey{p.AStack, p.BStack}
+}
+
 // Describe renders the pair with program positions.
 func (p *Pair) Describe(prog *ir.Program) string {
 	return fmt.Sprintf("%s: %s <-> %s", p.Obj, describeSide(prog, p.AStatic, p.AStack), describeSide(prog, p.BStatic, p.BStack))
@@ -84,9 +98,28 @@ type Report struct {
 	mu sync.Mutex
 	// staticSet caches the packed static-pair identities of Pairs; it is
 	// rebuilt whenever len(Pairs) changes (reports only ever grow, via
-	// core.DetectMulti-style appends).
-	staticSet map[int64]struct{}
-	staticLen int
+	// core.DetectMulti-style appends). staticKeys caches the rendered,
+	// sorted key strings for the same Pairs length; it is built lazily on
+	// the first StaticKeys call so callers that never render keys pay
+	// nothing.
+	staticSet  map[int64]struct{}
+	staticKeys []string
+	staticLen  int
+}
+
+// staticsLocked rebuilds the packed static-pair set if Pairs grew since the
+// memo was taken. Callers hold r.mu.
+func (r *Report) staticsLocked() map[int64]struct{} {
+	if r.staticSet == nil || r.staticLen != len(r.Pairs) {
+		set := make(map[int64]struct{}, len(r.Pairs))
+		for i := range r.Pairs {
+			set[packStatic(r.Pairs[i].AStatic, r.Pairs[i].BStatic)] = struct{}{}
+		}
+		r.staticSet = set
+		r.staticKeys = nil
+		r.staticLen = len(r.Pairs)
+	}
+	return r.staticSet
 }
 
 // statics returns the packed static-pair set, computing it at most once per
@@ -96,15 +129,7 @@ type Report struct {
 func (r *Report) statics() map[int64]struct{} {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.staticSet == nil || r.staticLen != len(r.Pairs) {
-		set := make(map[int64]struct{}, len(r.Pairs))
-		for i := range r.Pairs {
-			set[packStatic(r.Pairs[i].AStatic, r.Pairs[i].BStatic)] = struct{}{}
-		}
-		r.staticSet = set
-		r.staticLen = len(r.Pairs)
-	}
-	return r.staticSet
+	return r.staticsLocked()
 }
 
 // StaticCount returns the number of unique static-instruction pairs.
@@ -113,16 +138,23 @@ func (r *Report) StaticCount() int { return len(r.statics()) }
 // CallstackCount returns the number of unique callstack pairs.
 func (r *Report) CallstackCount() int { return len(r.Pairs) }
 
-// StaticKeys returns the sorted unique static pair keys.
+// StaticKeys returns the sorted unique static pair keys. The slice is
+// cached alongside the statics() memo (rendering and sorting used to repeat
+// on every call) and must not be mutated by the caller.
 func (r *Report) StaticKeys() []string {
-	set := r.statics()
-	keys := make([]string, 0, len(set))
-	for k := range set {
-		a, b := unpackStatic(k)
-		keys = append(keys, fmt.Sprintf("%d|%d", a, b))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := r.staticsLocked()
+	if r.staticKeys == nil {
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			a, b := unpackStatic(k)
+			keys = append(keys, fmt.Sprintf("%d|%d", a, b))
+		}
+		sort.Strings(keys)
+		r.staticKeys = keys
 	}
-	sort.Strings(keys)
-	return keys
+	return r.staticKeys
 }
 
 // HasStaticPair reports whether the report contains the unordered static
@@ -150,6 +182,13 @@ type Options struct {
 	// setting.
 	Parallelism int
 
+	// Scan selects the per-location scan algorithm: ScanInterval (the
+	// default, also chosen by ScanAuto) enumerates each access's
+	// concurrent partners per program-order chain with boundary lookups;
+	// ScanQuadratic keeps the original all-pairs ConcurrentOrdered scan as
+	// a reference oracle. Both produce byte-identical reports.
+	Scan ScanMode
+
 	// Obs, when non-nil, is the parent span for detection spans and
 	// counters (detect.*). Recording never influences the report.
 	Obs *obs.Span
@@ -168,20 +207,150 @@ const defaultMaxGroup = 1500
 // foundPair accumulates one callstack pair during a scan. firstObj is the
 // index (into the sorted object list) of the object where the pair was
 // first seen, which lets the parallel merge pick the same representative
-// record pair the sequential scan would.
+// record pair the sequential scan would. rep packs the representative's
+// dynamic record indices in trace order as i<<32|j with i < j: the
+// quadratic scan meets a key's occurrences in ascending (i, j) order so its
+// first stays minimal by construction, while the interval scan emits a
+// fixed access's partners chain by chain and uses rep to keep the same
+// lexicographically minimal representative. rep also keys the report's
+// canonical sort order (see reportFromMap).
 type foundPair struct {
 	pair     Pair
 	firstObj int
+	rep      int64
 }
 
-// scanObject runs the quadratic pair scan over one location's access
-// records (ascending trace indices), folding results into found.
-func scanObject(g *hb.Graph, obj string, idxs []int, objIdx, maxGroup int, pull map[int64]bool, found map[string]*foundPair, sp *obs.Span) {
+// packRep builds a foundPair.rep sort/min key from a representative record
+// pair, i < j in trace order.
+func packRep(i, j int) int64 { return int64(i)<<32 | int64(j) }
+
+// pairSlab block-allocates foundPairs. The scans create one per distinct
+// callstack pair — hundreds of thousands on large traces — and individual
+// heap allocations made garbage collection a measurable share of the
+// detect stage.
+type pairSlab struct{ buf []foundPair }
+
+// alloc returns a pointer to the next zeroed slot; the caller fills it in
+// place, avoiding an extra copy of the ~130-byte struct.
+func (s *pairSlab) alloc() *foundPair {
+	if len(s.buf) == cap(s.buf) {
+		s.buf = make([]foundPair, 0, 2048)
+	}
+	s.buf = s.buf[:len(s.buf)+1]
+	return &s.buf[len(s.buf)-1]
+}
+
+// internTable interns the StackKey rendering of every record the scans will
+// visit: ids maps a record's trace index to its stack ID, strs maps the ID
+// back to the rendering. IDs are assigned in lexicographic rank order, so
+// comparing two IDs compares the strings — the dedup key for a candidate
+// pair is one packed integer (see packStackIDs) instead of two strings,
+// which takes both the fmt.Sprintf rendering and the string hashing out of
+// the emit hot path. A StackKey determines its record's static ID (the
+// rendering embeds it), so equal-ID pairs are equal callstack pairs in the
+// CallstackKey sense.
+type internTable struct {
+	ids  []int32
+	strs []string
+}
+
+// buildInternTable renders and ranks the stack of every access of the
+// scanned locations. One rendering per access — the quadratic scan used to
+// pay one per enumerated pair.
+func buildInternTable(g *hb.Graph, objs []string, groups map[string][]int) *internTable {
+	tab := &internTable{ids: make([]int32, len(g.Tr.Recs))}
+	intern := map[string]int32{}
+	for _, o := range objs {
+		for _, i := range groups[o] {
+			s := g.Tr.Recs[i].StackKey()
+			id, ok := intern[s]
+			if !ok {
+				id = int32(len(tab.strs))
+				intern[s] = id
+				tab.strs = append(tab.strs, s)
+			}
+			tab.ids[i] = id
+		}
+	}
+	// Remap the encounter-order IDs onto lexicographic ranks.
+	order := make([]int32, len(tab.strs))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return tab.strs[order[a]] < tab.strs[order[b]] })
+	rank := make([]int32, len(tab.strs))
+	sorted := make([]string, len(tab.strs))
+	for r, id := range order {
+		rank[id] = int32(r)
+		sorted[r] = tab.strs[id]
+	}
+	tab.strs = sorted
+	for _, o := range objs {
+		for _, i := range groups[o] {
+			tab.ids[i] = rank[tab.ids[i]]
+		}
+	}
+	return tab
+}
+
+// packStackIDs packs a pair of stack IDs into the canonical (ascending,
+// hence ascending-stack-string) dedup key.
+func packStackIDs(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// pairFromIDs materializes the canonical Pair for a representative record
+// pair (i < j in trace order), ordering the sides by stack rendering — via
+// the rank-ordered IDs — exactly as the pre-interning makePair did: by
+// (stack, static), where equal stacks imply equal statics and keep the
+// sides in trace order.
+func pairFromIDs(tab *internTable, obj string, ri, rj *trace.Rec, i, j int, idI, idJ int32) Pair {
+	if idI > idJ {
+		ri, rj = rj, ri
+		i, j = j, i
+		idI, idJ = idJ, idI
+	}
+	return Pair{
+		Obj:     obj,
+		AStatic: ri.StaticID, BStatic: rj.StaticID,
+		AStack: tab.strs[idI], BStack: tab.strs[idJ],
+		ARec: i, BRec: j,
+	}
+}
+
+// scanScratch holds the interval scanner's per-location working buffers,
+// reused across the locations one goroutine scans, plus the run's shared
+// read-only intern table. The buffers are tiny per location but there are
+// thousands of locations per run, and reallocating them each time made the
+// garbage collector a measurable share of the detect stage.
+type scanScratch struct {
+	tab      *internTable
+	chainIdx map[int64]int
+	members  [][]int32
+	locals   [][]int32
+	chainOf  []int
+	writes   []bool
+	cur      []int
+}
+
+// scanFunc is the per-location scan shared by the sequential and sharded
+// paths: scanObjectQuadratic (the reference oracle) or scanObjectInterval.
+// found is keyed by packStackIDs of the pair's interned stacks.
+type scanFunc func(g *hb.Graph, obj string, idxs []int, objIdx, maxGroup int, pull map[int64]bool, found map[uint64]*foundPair, slab *pairSlab, sc *scanScratch, sp *obs.Span)
+
+// scanObjectQuadratic runs the all-pairs reference scan over one location's
+// access records (ascending trace indices), folding results into found: one
+// ConcurrentOrdered query per conflicting cross-context pair.
+func scanObjectQuadratic(g *hb.Graph, obj string, idxs []int, objIdx, maxGroup int, pull map[int64]bool, found map[uint64]*foundPair, slab *pairSlab, sc *scanScratch, sp *obs.Span) {
 	if len(idxs) > maxGroup {
 		idxs = subsample(g.Tr, idxs, maxGroup)
 		sp.Count("detect.subsampled_locations", 1)
 	}
 	recs := g.Tr.Recs
+	var hbQueries int64
 	for x := 0; x < len(idxs); x++ {
 		i := idxs[x]
 		ri := &recs[i]
@@ -196,29 +365,49 @@ func scanObject(g *hb.Graph, obj string, idxs []int, objIdx, maxGroup int, pull 
 			if ri.Thread == rj.Thread && ri.Ctx == rj.Ctx {
 				continue
 			}
+			hbQueries++
 			if !g.ConcurrentOrdered(i, j) {
 				continue
 			}
-			p := makePair(obj, ri, rj, i, j)
-			if pull != nil && pull[packStatic(p.AStatic, p.BStatic)] {
+			if pull != nil && pull[packStatic(ri.StaticID, rj.StaticID)] {
 				continue
 			}
-			key := p.AStack + "||" + p.BStack
+			tab := sc.tab
+			key := packStackIDs(tab.ids[i], tab.ids[j])
 			if ex, ok := found[key]; ok {
 				ex.pair.Dynamic++
 			} else {
-				p.Dynamic = 1
-				found[key] = &foundPair{pair: p, firstObj: objIdx}
+				fp := slab.alloc()
+				fp.pair = pairFromIDs(tab, obj, ri, rj, i, j, tab.ids[i], tab.ids[j])
+				fp.pair.Dynamic = 1
+				fp.firstObj = objIdx
+				fp.rep = packRep(i, j)
+				found[key] = fp
 			}
 		}
 	}
+	sp.Count("detect.hb_queries", hbQueries)
 }
 
 // Find enumerates concurrent conflicting access pairs.
 func Find(g *hb.Graph, opts Options) *Report {
+	found, _ := findMap(g, opts)
+	return reportFromMap(found, opts.Obs)
+}
+
+// findMap runs the per-location scans and returns the callstack-pair dedup
+// map. Find sorts it straight into a Report; FindChunked merges the
+// per-window maps first, so windows never materialize intermediate reports.
+func findMap(g *hb.Graph, opts Options) (map[uint64]*foundPair, *internTable) {
 	sp := opts.Obs.Child("detect.find")
 	defer sp.End()
 	sp.Attr("reach_backend", g.Backend().String())
+	mode := opts.Scan.resolve()
+	sp.Attr("scan_mode", mode.String())
+	scan := scanObjectInterval
+	if mode == ScanQuadratic {
+		scan = scanObjectQuadratic
+	}
 	maxGroup := opts.MaxGroup
 	if maxGroup <= 0 {
 		maxGroup = defaultMaxGroup
@@ -258,33 +447,79 @@ func Find(g *hb.Graph, opts Options) *Report {
 		}
 	}
 	sort.Strings(objs)
+	tab := buildInternTable(g, objs, groups)
 
-	var found map[string]*foundPair
+	var found map[uint64]*foundPair
 	if p := opts.workers(); p > 1 && len(objs) > 1 {
-		found = findSharded(g, objs, groups, maxGroup, pull, p, sp)
+		found = findSharded(g, scan, objs, groups, maxGroup, pull, tab, p, sp)
 	} else {
-		found = map[string]*foundPair{}
+		found = map[uint64]*foundPair{}
+		slab := &pairSlab{}
+		sc := &scanScratch{tab: tab}
 		for oi, obj := range objs {
-			scanObject(g, obj, groups[obj], oi, maxGroup, pull, found, sp)
+			scan(g, obj, groups[obj], oi, maxGroup, pull, found, slab, sc, sp)
 		}
 	}
-
-	rep := &Report{}
-	keys := make([]string, 0, len(found))
-	for k := range found {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var dynamic int64
-	for _, k := range keys {
-		rep.Pairs = append(rep.Pairs, found[k].pair)
-		dynamic += int64(found[k].pair.Dynamic)
-	}
 	sp.Attr("locations", len(objs))
-	sp.Attr("candidates", len(rep.Pairs))
+	sp.Attr("candidates", len(found))
 	sp.Count("detect.locations_scanned", int64(len(objs)))
-	sp.Count("detect.candidates", int64(len(rep.Pairs)))
-	sp.Count("detect.dynamic_pairs", dynamic)
+	sp.Count("detect.candidates", int64(len(found)))
+	return found, tab
+}
+
+// reportFromMap sorts a dedup map into the canonical report order and
+// records the dynamic-pair count. The order is ascending rep — the trace
+// position of each callstack pair's representative records. That key is
+// scan-mode independent (both scans keep the lexicographically smallest
+// representative), unique (equal record pairs have equal stacks, hence
+// equal callstack keys), and a single integer, so an LSD radix sort orders
+// hundreds of thousands of candidates in linear time where a comparison
+// sort on the string keys dominated the detect stage's profile.
+func reportFromMap[K comparable](found map[K]*foundPair, parent *obs.Span) *Report {
+	type repEntry struct {
+		rep int64
+		fp  *foundPair
+	}
+	// Keys live beside the pointers so the sort passes never chase them.
+	fps := make([]repEntry, 0, len(found))
+	var maxRep int64
+	for _, fp := range found {
+		fps = append(fps, repEntry{fp.rep, fp})
+		if fp.rep > maxRep {
+			maxRep = fp.rep
+		}
+	}
+	buf := make([]repEntry, len(fps))
+	var count [256]int
+	for shift := uint(0); maxRep>>shift > 0; shift += 8 {
+		clear(count[:])
+		for i := range fps {
+			count[(fps[i].rep>>shift)&0xff]++
+		}
+		// A pass whose byte is uniform across all keys (common in the
+		// middle of the packed i<<32|j layout) permutes nothing.
+		if count[(maxRep>>shift)&0xff] == len(fps) {
+			continue
+		}
+		sum := 0
+		for b, c := range count {
+			count[b] = sum
+			sum += c
+		}
+		for i := range fps {
+			b := (fps[i].rep >> shift) & 0xff
+			buf[count[b]] = fps[i]
+			count[b]++
+		}
+		fps, buf = buf, fps
+	}
+	rep := &Report{Pairs: make([]Pair, 0, len(fps))}
+	var dynamic int64
+	for i := range fps {
+		rep.Pairs = append(rep.Pairs, fps[i].fp.pair)
+		dynamic += int64(fps[i].fp.pair.Dynamic)
+	}
+	parent.Count("detect.dynamic_pairs", dynamic)
 	return rep
 }
 
@@ -294,68 +529,52 @@ func Find(g *hb.Graph, opts Options) *Report {
 // pair comes from the lowest object index that produced it — exactly the
 // occurrence the sequential scan (which walks objects in sorted order)
 // would have kept — and Dynamic counts are summed.
-func findSharded(g *hb.Graph, objs []string, groups map[string][]int, maxGroup int, pull map[int64]bool, p int, sp *obs.Span) map[string]*foundPair {
+func findSharded(g *hb.Graph, scan scanFunc, objs []string, groups map[string][]int, maxGroup int, pull map[int64]bool, tab *internTable, p int, sp *obs.Span) map[uint64]*foundPair {
 	if p > len(objs) {
 		p = len(objs)
 	}
-	partial := make([]map[string]*foundPair, p)
+	partial := make([]map[uint64]*foundPair, p)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			mine := map[string]*foundPair{}
+			mine := map[uint64]*foundPair{}
+			slab := &pairSlab{}
+			sc := &scanScratch{tab: tab}
 			partial[w] = mine
 			for {
 				oi := int(next.Add(1)) - 1
 				if oi >= len(objs) {
 					return
 				}
-				scanObject(g, objs[oi], groups[objs[oi]], oi, maxGroup, pull, mine, sp)
+				scan(g, objs[oi], groups[objs[oi]], oi, maxGroup, pull, mine, slab, sc, sp)
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	merged := map[string]*foundPair{}
+	// The workers are done, so the merge owns every entry and can adopt
+	// pointers from the partial maps instead of copying.
+	merged := map[uint64]*foundPair{}
 	for _, m := range partial {
 		for k, fp := range m {
 			ex, ok := merged[k]
 			if !ok {
-				cp := *fp
-				merged[k] = &cp
+				merged[k] = fp
 				continue
 			}
 			total := ex.pair.Dynamic + fp.pair.Dynamic
 			if fp.firstObj < ex.firstObj {
 				ex.pair = fp.pair
 				ex.firstObj = fp.firstObj
+				ex.rep = fp.rep
 			}
 			ex.pair.Dynamic = total
 		}
 	}
 	return merged
-}
-
-func makePair(obj string, ri, rj *trace.Rec, i, j int) Pair {
-	a := side{static: ri.StaticID, stack: ri.StackKey(), rec: i}
-	b := side{static: rj.StaticID, stack: rj.StackKey(), rec: j}
-	if a.stack > b.stack || (a.stack == b.stack && a.static > b.static) {
-		a, b = b, a
-	}
-	return Pair{
-		Obj:     obj,
-		AStatic: a.static, BStatic: b.static,
-		AStack: a.stack, BStack: b.stack,
-		ARec: a.rec, BRec: b.rec,
-	}
-}
-
-type side struct {
-	static int32
-	stack  string
-	rec    int
 }
 
 // subsample keeps a bounded, deterministic selection of a hot location's

@@ -1,0 +1,213 @@
+package detect
+
+import (
+	"fmt"
+
+	"dcatch/internal/hb"
+	"dcatch/internal/obs"
+	"dcatch/internal/trace"
+)
+
+// Interval-based candidate detection.
+//
+// Rule-Preg/Pnreg totally orders the records of each program-order chain,
+// so reachability into a chain is monotone (DESIGN.md §12): for a fixed
+// access i, the accesses of a chain concurrent with i form one contiguous
+// position interval. Instead of querying ConcurrentOrdered once per access
+// pair — the quadratic hot path the detect stage used to spend its time in —
+// the interval scanner groups a location's accesses by chain and finds each
+// access's concurrent partners with one boundary lookup per (access, chain):
+// pairs are enumerated from their smaller trace endpoint, so only the upper
+// boundary (hb.Graph.DescendantStart, the first chain element the access
+// reaches) is ever needed; the lower one is implicit in walking accesses in
+// ascending trace order. On the chain reachability backend the boundary is
+// answered from the access's min-position row without issuing a single
+// reachability query; on the dense backend it costs O(log chain) bitset
+// probes. Pair materialization (write filter, same-context skip, stack-key
+// dedup, Dynamic counts, pull suppression) walks the interval without
+// further graph queries.
+
+// ScanMode selects the per-location scan algorithm.
+type ScanMode int
+
+const (
+	// ScanAuto lets the library choose; it currently always resolves to
+	// ScanInterval.
+	ScanAuto ScanMode = iota
+	// ScanInterval enumerates concurrent partners per program-order chain
+	// with boundary lookups (sub-quadratic in HB queries).
+	ScanInterval
+	// ScanQuadratic is the original all-pairs ConcurrentOrdered scan, kept
+	// as the sequential reference oracle.
+	ScanQuadratic
+)
+
+// ParseScanMode parses a -scan flag value.
+func ParseScanMode(s string) (ScanMode, error) {
+	switch s {
+	case "", "auto":
+		return ScanAuto, nil
+	case "interval":
+		return ScanInterval, nil
+	case "quadratic":
+		return ScanQuadratic, nil
+	}
+	return ScanAuto, fmt.Errorf("detect: unknown scan mode %q (want auto, interval or quadratic)", s)
+}
+
+func (m ScanMode) String() string {
+	switch m {
+	case ScanInterval:
+		return "interval"
+	case ScanQuadratic:
+		return "quadratic"
+	}
+	return "auto"
+}
+
+// resolve maps ScanAuto onto the concrete algorithm.
+func (m ScanMode) resolve() ScanMode {
+	if m == ScanQuadratic {
+		return ScanQuadratic
+	}
+	return ScanInterval
+}
+
+// scanObjectInterval folds one location's candidate pairs into found using
+// per-chain concurrency intervals. It emits exactly the pairs the quadratic
+// reference emits, with the same representative record pair per callstack
+// key: walking accesses in ascending trace order makes the first access of
+// a key minimal, and because a fixed access's partners arrive chain by
+// chain — not in ascending trace order — the scanner keeps the
+// lexicographically smallest (i, j) via foundPair.repI/repJ.
+func scanObjectInterval(g *hb.Graph, obj string, idxs []int, objIdx, maxGroup int, pull map[int64]bool, found map[uint64]*foundPair, slab *pairSlab, sc *scanScratch, sp *obs.Span) {
+	if len(idxs) > maxGroup {
+		idxs = subsample(g.Tr, idxs, maxGroup)
+		sp.Count("detect.subsampled_locations", 1)
+	}
+	recs := g.Tr.Recs
+	n := len(idxs)
+
+	// Group the location's accesses by program-order chain, preserving
+	// trace order within each chain. All buffers live in the caller's
+	// scratch and are reused across locations.
+	if sc.chainIdx == nil {
+		sc.chainIdx = map[int64]int{}
+	} else {
+		clear(sc.chainIdx)
+	}
+	if cap(sc.chainOf) < n {
+		sc.chainOf = make([]int, n)
+		sc.writes = make([]bool, n)
+	}
+	members := sc.members[:0] // trace indices per chain, ascending
+	locals := sc.locals[:0]   // matching positions into idxs
+	chainOf := sc.chainOf[:n]
+	writes := sc.writes[:n]
+	for x, i := range idxs {
+		key := g.ChainOf(i)
+		c, ok := sc.chainIdx[key]
+		if !ok {
+			c = len(members)
+			sc.chainIdx[key] = c
+			if cap(members) > c {
+				members = members[:c+1]
+				members[c] = members[c][:0]
+				locals = locals[:c+1]
+				locals[c] = locals[c][:0]
+			} else {
+				members = append(members, nil)
+				locals = append(locals, nil)
+			}
+		}
+		members[c] = append(members[c], int32(i))
+		locals[c] = append(locals[c], int32(x))
+		chainOf[x] = c
+		writes[x] = recs[i].IsWrite()
+	}
+	sc.members = members // keep capacity grown inside the loop
+	sc.locals = locals
+
+	// cur[c] is the first position in chain c whose trace index exceeds the
+	// access currently being scanned; accesses are visited in ascending
+	// trace order, so each cursor only ever moves forward.
+	if cap(sc.cur) < len(members) {
+		sc.cur = make([]int, len(members))
+	}
+	cur := sc.cur[:len(members)]
+	clear(cur)
+	var hbQueries, lookups int64
+	for x := 0; x < n; x++ {
+		i := idxs[x]
+		ri := &recs[i]
+		riWrite := writes[x]
+		for c := range members {
+			mem := members[c]
+			for cur[c] < len(mem) && int(mem[cur[c]]) <= i {
+				cur[c]++
+			}
+			if c == chainOf[x] || cur[c] == len(mem) {
+				// An access's own chain is totally ordered with it; no
+				// concurrent partners there.
+				continue
+			}
+			// Partners later in the trace can never be ancestors of i, so
+			// the concurrent interval is exactly the prefix of mem[cur[c]:]
+			// that i does not reach.
+			sub := mem[cur[c]:]
+			k, q := g.DescendantStart(i, sub)
+			lookups++
+			hbQueries += int64(q)
+			loc := locals[c][cur[c]:]
+			for w := 0; w < k; w++ {
+				y := int(loc[w])
+				if !riWrite && !writes[y] {
+					continue
+				}
+				rj := &recs[int(sub[w])]
+				// Same (thread, ctx) but a different chain: possible when
+				// an ablation degrades one record's context key. The
+				// reference skips these before its HB query; match it.
+				if ri.Thread == rj.Thread && ri.Ctx == rj.Ctx {
+					continue
+				}
+				emitInterval(sc.tab, obj, ri, rj, i, int(sub[w]), objIdx, pull, found, slab)
+			}
+		}
+	}
+	sp.Count("detect.hb_queries", hbQueries)
+	sp.Count("detect.interval_lookups", lookups)
+}
+
+// emitInterval folds one dynamic pair (i < j in trace order) into found,
+// mirroring the reference scan's dedup: first occurrence of a callstack key
+// provides the representative records, later ones only bump Dynamic. Within
+// one object the interval scan may meet a fixed i's partners out of trace
+// order, so an equal key from the same object with a smaller (i, j) takes
+// over the representative role while keeping the accumulated count. The
+// duplicate path — the overwhelmingly common one — touches only integers:
+// a packed-ID map probe and a counter bump.
+func emitInterval(tab *internTable, obj string, ri, rj *trace.Rec, i, j int, objIdx int, pull map[int64]bool, found map[uint64]*foundPair, slab *pairSlab) {
+	if pull != nil && pull[packStatic(ri.StaticID, rj.StaticID)] {
+		return
+	}
+	idI, idJ := tab.ids[i], tab.ids[j]
+	key := packStackIDs(idI, idJ)
+	ex, ok := found[key]
+	if !ok {
+		fp := slab.alloc()
+		fp.pair = pairFromIDs(tab, obj, ri, rj, i, j, idI, idJ)
+		fp.pair.Dynamic = 1
+		fp.firstObj = objIdx
+		fp.rep = packRep(i, j)
+		found[key] = fp
+		return
+	}
+	ex.pair.Dynamic++
+	if rep := packRep(i, j); ex.firstObj == objIdx && rep < ex.rep {
+		dyn := ex.pair.Dynamic
+		ex.pair = pairFromIDs(tab, obj, ri, rj, i, j, idI, idJ)
+		ex.pair.Dynamic = dyn
+		ex.rep = rep
+	}
+}

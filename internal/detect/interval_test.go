@@ -1,0 +1,246 @@
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dcatch/internal/hb"
+	"dcatch/internal/obs"
+	"dcatch/internal/trace"
+)
+
+// randomDetectTrace generates a random but causally well-formed trace that
+// exercises every HB rule family: threads with fork/join-style causal
+// pairs, RPC and socket handler contexts, zk watch pushes, and
+// single-consumer event queues, interleaved with reads and writes on a
+// small shared object pool so the detect scans have plenty of conflicting
+// cross-context pairs to find.
+func randomDetectTrace(rng *rand.Rand, n int) *trace.Trace {
+	c := trace.NewCollector("rand")
+	c.SetQueueInfo("n/q0", 1)
+	c.SetQueueInfo("n/q1", 1)
+	queues := []string{"n/q0", "n/q1"}
+
+	type pending struct {
+		kind trace.Kind
+		op   uint64
+	}
+	var open []pending
+	evPending := make([][]uint64, len(queues))
+	evRunning := make([]uint64, len(queues))
+	evCtx := make([]int32, len(queues))
+	nextOp := uint64(1)
+	nextCtx := int32(2000)
+	nthreads := 3 + rng.Intn(3)
+
+	for i := 0; i < n; i++ {
+		th := int32(1 + rng.Intn(nthreads))
+		r := trace.Rec{
+			Node: "n", Thread: th, Ctx: th, CtxKind: trace.CtxRegular,
+			StaticID: int32(rng.Intn(24)),
+			Stack:    []int32{int32(rng.Intn(4)), int32(rng.Intn(3))},
+		}
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			r.Kind = trace.KMemWrite
+			r.Obj = fmt.Sprintf("n/o%d", rng.Intn(5))
+		case 3, 4, 5:
+			r.Kind = trace.KMemRead
+			r.Obj = fmt.Sprintf("n/o%d", rng.Intn(5))
+		case 6: // open a causal pair
+			src := []trace.Kind{trace.KThreadCreate, trace.KRPCCreate, trace.KSockSend, trace.KZKUpdate}[rng.Intn(4)]
+			r.Kind = src
+			r.Op = nextOp
+			open = append(open, pending{src, nextOp})
+			nextOp++
+		case 7: // close a pending pair, handler kinds in a fresh context
+			if len(open) == 0 {
+				r.Kind = trace.KMemWrite
+				r.Obj = "n/oz"
+				break
+			}
+			k := rng.Intn(len(open))
+			p := open[k]
+			open = append(open[:k], open[k+1:]...)
+			r.Op = p.op
+			switch p.kind {
+			case trace.KThreadCreate:
+				r.Kind = trace.KThreadBegin
+			case trace.KRPCCreate:
+				r.Kind = trace.KRPCBegin
+				r.Ctx, r.CtxKind = nextCtx, trace.CtxRPC
+				nextCtx++
+			case trace.KSockSend:
+				r.Kind = trace.KSockRecv
+				r.Ctx, r.CtxKind = nextCtx, trace.CtxMsg
+				nextCtx++
+			case trace.KZKUpdate:
+				r.Kind = trace.KZKPushed
+				r.Ctx, r.CtxKind = nextCtx, trace.CtxWatch
+				nextCtx++
+			}
+		default: // event-queue activity
+			q := rng.Intn(len(queues))
+			switch {
+			case evRunning[q] != 0:
+				r.Thread = int32(10 + q)
+				r.Ctx, r.CtxKind = evCtx[q], trace.CtxEvent
+				r.Kind = trace.KEventEnd
+				r.Op = evRunning[q]
+				r.Queue = queues[q]
+				evRunning[q] = 0
+			case len(evPending[q]) > 0:
+				op := evPending[q][0]
+				evPending[q] = evPending[q][1:]
+				r.Thread = int32(10 + q)
+				r.Ctx, r.CtxKind = nextCtx, trace.CtxEvent
+				r.Kind = trace.KEventBegin
+				r.Op = op
+				r.Queue = queues[q]
+				evRunning[q] = op
+				evCtx[q] = nextCtx
+				nextCtx++
+			default:
+				r.Kind = trace.KEventCreate
+				r.Op = nextOp
+				r.Queue = queues[q]
+				evPending[q] = append(evPending[q], nextOp)
+				nextOp++
+			}
+		}
+		c.Emit(r)
+	}
+	return c.Trace()
+}
+
+// runScan runs Find in the given mode and returns the rendered report plus
+// the run's detect counters.
+func runScan(t *testing.T, g *hb.Graph, mode ScanMode, par, maxGroup int) (string, map[string]int64) {
+	t.Helper()
+	rec := obs.New()
+	sp := rec.Span("test.detect")
+	rep := Find(g, Options{Scan: mode, Parallelism: par, MaxGroup: maxGroup, Obs: sp})
+	sp.End()
+	return rep.Format(nil), rec.Counters()
+}
+
+// TestIntervalMatchesQuadraticRandom is the differential gate for the
+// interval scanner: across random traces, every rule-ablation config, both
+// reachability backends, both scan parallelisms and a subsampled MaxGroup,
+// the interval scan must render byte-for-byte the report of the quadratic
+// reference — and issue strictly fewer HB queries.
+func TestIntervalMatchesQuadraticRandom(t *testing.T) {
+	ablations := []struct {
+		name string
+		cfg  hb.Config
+	}{
+		{"full", hb.Config{}},
+		{"noevent", hb.Config{DisableEvent: true}},
+		{"norpc", hb.Config{DisableRPC: true}},
+		{"nosocket", hb.Config{DisableSocket: true}},
+		{"nopush", hb.Config{DisablePush: true}},
+		{"noasync", hb.Config{DisableEvent: true, DisableRPC: true, DisableSocket: true, DisablePush: true}},
+	}
+	backends := []hb.Backend{hb.BackendDense, hb.BackendChain}
+	for trial := 0; trial < 3; trial++ {
+		rng := rand.New(rand.NewSource(int64(800 + trial)))
+		tr := randomDetectTrace(rng, 250)
+		for _, ab := range ablations {
+			for _, be := range backends {
+				cfg := ab.cfg
+				cfg.ReachBackend = be
+				g, err := hb.Build(tr, cfg)
+				if err != nil {
+					t.Fatalf("trial %d %s/%s: %v", trial, ab.name, be, err)
+				}
+				for _, maxGroup := range []int{0, 20} {
+					label := fmt.Sprintf("trial %d %s/%s maxGroup=%d", trial, ab.name, be, maxGroup)
+					ref, refC := runScan(t, g, ScanQuadratic, 1, maxGroup)
+					for _, par := range []int{1, 4} {
+						got, gotC := runScan(t, g, ScanInterval, par, maxGroup)
+						if got != ref {
+							t.Fatalf("%s p%d: interval report diverged from quadratic\ninterval:\n%s\nquadratic:\n%s",
+								label, par, got, ref)
+						}
+						if refC["detect.hb_queries"] > 0 && gotC["detect.hb_queries"] >= refC["detect.hb_queries"] {
+							t.Fatalf("%s p%d: interval issued %d HB queries, quadratic %d — no win",
+								label, par, gotC["detect.hb_queries"], refC["detect.hb_queries"])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIntervalMatchesQuadraticChunked runs the same differential over the
+// chunked pipeline: per-window scans plus the cross-window merge must be
+// mode- and parallelism-independent.
+func TestIntervalMatchesQuadraticChunked(t *testing.T) {
+	rng := rand.New(rand.NewSource(900))
+	tr := randomDetectTrace(rng, 400)
+	chunks, err := hb.BuildChunked(tr, hb.ChunkConfig{ChunkSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(mode ScanMode, par int) string {
+		return FindChunked(chunks, Options{Scan: mode, Parallelism: par}).Format(nil)
+	}
+	ref := render(ScanQuadratic, 1)
+	if ref == "" {
+		t.Fatal("empty reference report; generator produced no candidates")
+	}
+	for _, par := range []int{1, 4} {
+		for _, mode := range []ScanMode{ScanQuadratic, ScanInterval} {
+			if got := render(mode, par); got != ref {
+				t.Fatalf("chunked %s p%d diverged from quadratic p1:\n%s\nwant:\n%s", mode, par, got, ref)
+			}
+		}
+	}
+}
+
+// TestCallstackKeyCollision is the regression test for the old
+// `AStack + "||" + BStack` dedup keys: two different pairs whose joined
+// renderings coincide must keep distinct identities.
+func TestCallstackKeyCollision(t *testing.T) {
+	p1 := Pair{AStack: "x||y", BStack: "z"}
+	p2 := Pair{AStack: "x", BStack: "y||z"}
+	if p1.AStack+"||"+p1.BStack != p2.AStack+"||"+p2.BStack {
+		t.Fatal("test premise broken: joined strings should collide")
+	}
+	if p1.CallstackKey() == p2.CallstackKey() {
+		t.Fatalf("CallstackKey collided: %+v vs %+v", p1.CallstackKey(), p2.CallstackKey())
+	}
+	m := map[CallstackKey]int{p1.CallstackKey(): 1, p2.CallstackKey(): 2}
+	if len(m) != 2 {
+		t.Fatalf("map folded distinct keys: %v", m)
+	}
+}
+
+// TestStaticKeysCached verifies the StaticKeys memo: repeated calls return
+// the same backing slice, and growing the report invalidates it.
+func TestStaticKeysCached(t *testing.T) {
+	r := &Report{Pairs: []Pair{
+		{AStatic: 2, BStatic: 1},
+		{AStatic: 1, BStatic: 2}, // same unordered static pair
+		{AStatic: 3, BStatic: 4},
+	}}
+	first := r.StaticKeys()
+	want := []string{"1|2", "3|4"}
+	if len(first) != len(want) || first[0] != want[0] || first[1] != want[1] {
+		t.Fatalf("StaticKeys = %v, want %v", first, want)
+	}
+	second := r.StaticKeys()
+	if &first[0] != &second[0] {
+		t.Fatal("StaticKeys rebuilt despite unchanged report")
+	}
+	r.Pairs = append(r.Pairs, Pair{AStatic: 9, BStatic: 9})
+	grown := r.StaticKeys()
+	if len(grown) != 3 || grown[2] != "9|9" {
+		t.Fatalf("StaticKeys after growth = %v, want 3 keys ending in 9|9", grown)
+	}
+	if r.StaticCount() != 3 {
+		t.Fatalf("StaticCount = %d, want 3", r.StaticCount())
+	}
+}

@@ -1,0 +1,85 @@
+package hb
+
+import "sort"
+
+// Backend-neutral chain boundary queries. Rule-Preg/Pnreg totally orders the
+// records of each program-order context, so reachability into a chain is
+// monotone: if v reaches a chain element, it reaches every later element,
+// and if an element reaches v, so does every earlier one. For a vertex v the
+// elements of a chain concurrent with v therefore form one contiguous
+// position interval, delimited by two boundaries — the last ancestor of v in
+// the chain and the first descendant of v in it. Interval-based candidate
+// detection (internal/detect) exploits this to replace its per-pair
+// ConcurrentOrdered scan with two boundary lookups per (access, chain);
+// this file is the query API it builds on.
+
+// ChainOf returns the identity of record i's program-order chain: the
+// (thread, context) key under the graph's ablation config — exactly the
+// grouping whose consecutive records addProgramOrder links, so the records
+// of one chain are totally ordered by happens-before on every backend.
+// Chain identities are only meaningful within one graph.
+func (g *Graph) ChainOf(i int) int64 {
+	return g.ctxKey(&g.Tr.Recs[i])
+}
+
+// DescendantStart returns the smallest k such that v happens before sub[k].
+// sub must hold record indices in ascending trace order, all strictly
+// greater than v and all on one program-order chain; v's descendants in the
+// chain then form the suffix sub[k:], and sub[:k] is concurrent with v
+// (elements after v in trace time can never be its ancestors). Returns
+// len(sub) when v reaches none of them.
+//
+// The second result is the number of reachability queries issued. The chain
+// backend answers with a single read of v's min-position row followed by a
+// pure position binary search — zero graph queries; the dense backend
+// binary-searches the monotone predicate with O(log len(sub)) bit-array
+// probes.
+func (g *Graph) DescendantStart(v int, sub []int32) (k, queries int) {
+	if len(sub) == 0 {
+		return 0, 0
+	}
+	if x := g.chain; x != nil {
+		// Chain-row fast path: row v already holds the minimum position v
+		// reaches in sub's chain; everything at or past it is a descendant.
+		minPos := x.rows[v*x.c+int(x.cs.chainOf[sub[0]])]
+		return sort.Search(len(sub), func(i int) bool {
+			return x.cs.posOf[sub[i]] >= minPos
+		}), 0
+	}
+	// Monotonicity makes the chain's endpoints decisive: if v does not
+	// reach the last element it reaches none, and if it reaches the first
+	// it reaches all. Both cases — the overwhelmingly common ones, since
+	// most chains are either entirely concurrent with v or entirely ordered
+	// after it — cost one probe instead of a binary search.
+	if !g.reach[sub[len(sub)-1]].HasUnchecked(v) {
+		return len(sub), 1
+	}
+	if g.reach[sub[0]].HasUnchecked(v) {
+		return 0, 2
+	}
+	queries = 2
+	k = 1 + sort.Search(len(sub)-2, func(i int) bool {
+		queries++
+		return g.reach[sub[i+1]].HasUnchecked(v)
+	})
+	return k, queries
+}
+
+// AncestorEnd returns the smallest k such that sub[k] does not happen
+// before v. sub must hold record indices in ascending trace order, all
+// strictly less than v and all on one program-order chain; v's ancestors in
+// the chain then form the prefix sub[:k], and sub[k:] is concurrent with v
+// (elements before v in trace time can never be its descendants). Returns 0
+// when none of them reaches v.
+//
+// The second result is the number of reachability queries issued — both
+// backends binary-search the monotone predicate with O(log len(sub)) O(1)
+// ancestor probes (the chain index stores descendant rows, so there is no
+// single-row shortcut on this side).
+func (g *Graph) AncestorEnd(v int, sub []int32) (k, queries int) {
+	k = sort.Search(len(sub), func(i int) bool {
+		queries++
+		return !g.ancestor(int(sub[i]), v)
+	})
+	return k, queries
+}

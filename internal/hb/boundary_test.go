@@ -1,0 +1,150 @@
+package hb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dcatch/internal/trace"
+)
+
+// chainsOf groups a graph's vertex indices by ChainOf, ascending within each
+// chain (trace order), mirroring what interval detection builds per memory
+// location.
+func chainsOf(g *Graph) map[int64][]int32 {
+	out := map[int64][]int32{}
+	for i := 0; i < g.N(); i++ {
+		k := g.ChainOf(i)
+		out[k] = append(out[k], int32(i))
+	}
+	return out
+}
+
+// TestChainOfTotallyOrdered asserts the contract ChainOf advertises: any two
+// records of one chain are HB-ordered (never concurrent), on both backends.
+func TestChainOfTotallyOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := randomMTEP(rng, 150)
+	for _, backend := range []Backend{BackendDense, BackendChain} {
+		g, err := Build(tr, Config{ReachBackend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chain := range chainsOf(g) {
+			for x := 0; x < len(chain); x++ {
+				for y := x + 1; y < len(chain); y++ {
+					if !g.HappensBefore(int(chain[x]), int(chain[y])) {
+						t.Fatalf("%s: chain elements %d,%d not ordered", backend, chain[x], chain[y])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBoundaryQueriesMatchBruteForce cross-checks DescendantStart and
+// AncestorEnd against element-by-element scans over random sub-slices of
+// every chain, on both backends and under every single-family ablation.
+func TestBoundaryQueriesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfgs := []Config{
+		{},
+		{DisableEvent: true},
+		{DisableRPC: true},
+		{DisableSocket: true},
+		{DisablePush: true},
+	}
+	for trial := 0; trial < 3; trial++ {
+		tr := randomMTEP(rng, 120)
+		for _, base := range cfgs {
+			for _, backend := range []Backend{BackendDense, BackendChain} {
+				cfg := base
+				cfg.ReachBackend = backend
+				g, err := Build(tr, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkBoundaries(t, g, rng)
+			}
+		}
+	}
+}
+
+func checkBoundaries(t *testing.T, g *Graph, rng *rand.Rand) {
+	t.Helper()
+	for _, chain := range chainsOf(g) {
+		for probe := 0; probe < 8; probe++ {
+			v := rng.Intn(g.N())
+			// Random sub-slice of the chain, then split around v: the API
+			// contract wants all-greater (DescendantStart) or all-smaller
+			// (AncestorEnd) elements.
+			lo := rng.Intn(len(chain) + 1)
+			hi := lo + rng.Intn(len(chain)+1-lo)
+			sub := chain[lo:hi]
+			split := sort.Search(len(sub), func(i int) bool { return int(sub[i]) > v })
+			below, above := sub[:split], sub[split:]
+			if len(above) > 0 {
+				got, _ := g.DescendantStart(v, above)
+				want := 0
+				for want < len(above) && !g.HappensBefore(v, int(above[want])) {
+					want++
+				}
+				if got != want {
+					t.Fatalf("DescendantStart(%d, %v) = %d, brute force %d (backend %s)",
+						v, above, got, want, g.Backend())
+				}
+				// Everything before the boundary must be concurrent with v.
+				for x := 0; x < got; x++ {
+					if !g.Concurrent(v, int(above[x])) {
+						t.Fatalf("DescendantStart(%d): element %d inside interval not concurrent", v, above[x])
+					}
+				}
+			}
+			if len(below) > 0 && int(below[len(below)-1]) < v {
+				got, _ := g.AncestorEnd(v, below)
+				want := 0
+				for want < len(below) && g.HappensBefore(int(below[want]), v) {
+					want++
+				}
+				if got != want {
+					t.Fatalf("AncestorEnd(%d, %v) = %d, brute force %d (backend %s)",
+						v, below, got, want, g.Backend())
+				}
+				for x := got; x < len(below); x++ {
+					if !g.Concurrent(v, int(below[x])) {
+						t.Fatalf("AncestorEnd(%d): element %d outside prefix not concurrent", v, below[x])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDescendantStartChainFastPathQueryFree asserts the chain backend's
+// advertised cost model: the upper boundary is answered from the
+// min-position row with zero reachability queries, while the dense backend
+// pays O(log n) probes.
+func TestDescendantStartChainFastPathQueryFree(t *testing.T) {
+	b := newTB()
+	w := b.mem("n", 1, 1, trace.CtxRegular, trace.KMemWrite, "n/x", 1)
+	var chain []int32
+	for i := 0; i < 16; i++ {
+		chain = append(chain, int32(b.mem("n", 2, 2, trace.CtxRegular, trace.KMemRead, "n/x", int32(2+i))))
+	}
+	for _, backend := range []Backend{BackendDense, BackendChain} {
+		g, err := Build(b.c.Trace(), Config{ReachBackend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, queries := g.DescendantStart(w, chain)
+		if k != len(chain) {
+			t.Fatalf("%s: DescendantStart = %d, want %d (all concurrent)", backend, k, len(chain))
+		}
+		if backend == BackendChain && queries != 0 {
+			t.Fatalf("chain fast path issued %d reachability queries, want 0", queries)
+		}
+		if backend == BackendDense && queries == 0 {
+			t.Fatalf("dense path reported 0 queries for a %d-element search", len(chain))
+		}
+	}
+}

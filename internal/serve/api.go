@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dcatch/internal/core"
+	"dcatch/internal/detect"
 	"dcatch/internal/hb"
 )
 
@@ -58,6 +59,9 @@ type JobOptions struct {
 	// Reach selects the reachability backend: "", "dense", "chain", "auto"
 	// (dcatch -reach).
 	Reach string `json:"reach,omitempty"`
+	// Scan selects the detection scan algorithm: "", "auto", "interval",
+	// "quadratic" (dcatch -scan). Reports are byte-identical either way.
+	Scan string `json:"scan,omitempty"`
 	// MemBudget bounds analysis reachability memory in bytes; it also
 	// drives the service's admission control (a job is not started until
 	// its budget fits under the server-wide memory budget).
@@ -122,6 +126,13 @@ func coreOptions(o JobOptions) (core.Options, error) {
 			return opts, fmt.Errorf("serve: %w", err)
 		}
 		opts.HB.ReachBackend = backend
+	}
+	if o.Scan != "" {
+		mode, err := detect.ParseScanMode(o.Scan)
+		if err != nil {
+			return opts, fmt.Errorf("serve: %w", err)
+		}
+		opts.Detect.Scan = mode
 	}
 	return opts, nil
 }

@@ -256,7 +256,7 @@ func (s *Server) submitSubject(body io.Reader) (*job, error) {
 // submitTrace streams a binary trace out of the request body (hashing the
 // bytes as they pass — the upload is never buffered whole) and enqueues a
 // TA-only analysis. Options ride in query parameters: parallel, reach,
-// mem_budget, chunk_size, max_group.
+// scan, mem_budget, chunk_size, max_group.
 func (s *Server) submitTrace(body io.Reader, r *http.Request) (*job, error) {
 	jopt, err := traceQueryOptions(r)
 	if err != nil {
@@ -320,6 +320,7 @@ func traceQueryOptions(r *http.Request) (JobOptions, error) {
 		o.MemBudget = n
 	}
 	o.Reach = q.Get("reach")
+	o.Scan = q.Get("scan")
 	return o, nil
 }
 
