@@ -29,7 +29,7 @@ func main() {
 	analyze := flag.Bool("analyze", false, "run HB trace analysis on the file and print the report")
 	parallel := flag.Int("parallel", 0, "with -analyze: analysis workers (0 = all CPUs)")
 	reach := flag.String("reach", "dense", "with -analyze: reachability backend (dense, chain, auto)")
-	scan := flag.String("scan", "auto", "with -analyze: detection scan (auto, interval, quadratic)")
+	scan := flag.String("scan", "auto", "with -analyze: detection scan (auto, epoch, interval, quadratic)")
 	version := flag.Bool("version", false, "print the tool version and exit")
 	flag.Parse()
 	if *version {

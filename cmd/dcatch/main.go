@@ -49,7 +49,7 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write the binary trace to this file")
 		parallel  = flag.Int("parallel", 0, "trace-analysis workers: 0 = all CPUs, 1 = sequential reference path (reports are identical either way)")
 		reach     = flag.String("reach", "dense", "reachability backend: dense (paper bit arrays), chain (O(V*C) chain index), or auto (dense if it fits the memory budget, else chain)")
-		scan      = flag.String("scan", "auto", "detection scan: auto, interval (per-chain concurrency intervals), or quadratic (all-pairs reference; reports are identical either way)")
+		scan      = flag.String("scan", "auto", "detection scan: auto, epoch (one-pass chain-clock sweep), interval (per-chain concurrency intervals), or quadratic (all-pairs reference; reports are identical in every mode)")
 		metrics   = flag.String("metrics-json", "", "write a versioned run manifest (spans, counters, stats) to this file")
 		verbose   = flag.Bool("v", false, "log pipeline progress to stderr")
 		explain   = flag.Int("explain", -1, "print the provenance of report pair N (reported pairs first, then pruned candidates) and exit")

@@ -9,135 +9,211 @@ import (
 	"dcatch/internal/obs"
 )
 
-// The detect-stage scaling sweep measures the two scan modes against each
-// other across growing bounded-context traces: the quadratic reference pays
-// one reachability query per conflicting cross-context pair, while the
-// interval scan pays boundary lookups per (access, chain) — zero point
-// queries on the chain backend. Every run's report is cross-checked
-// byte-for-byte against the quadratic parallelism-1 reference, and the
-// sweep fails if the interval scan ever issues at least as many queries as
-// the quadratic one (the CI smoke gate).
+// The detect-stage scaling sweep measures the three scan engines against
+// each other across growing bounded-context traces, on both reachability
+// backends: the quadratic reference pays one reachability query per
+// conflicting cross-context pair, the interval scan pays boundary lookups
+// per (access, chain), and the epoch sweep carries chain clocks through one
+// trace pass and issues no queries at all. Every run's report is
+// cross-checked byte-for-byte against the backend's quadratic parallelism-1
+// reference (and across backends), and the sweep fails if the interval scan
+// shows no query win, if the epoch sweep touches the reachability index, or
+// if the epoch sweep is materially slower than the interval scan at the
+// same parallelism (the CI smoke gates).
 
-// DetectRun is one (scan mode, parallelism) measurement at one trace size.
+// detectSweepReps is the repetition count per (mode, parallelism) run; the
+// recorded wall time is the minimum, so the epoch-vs-interval wall gate
+// compares best-case timings rather than scheduler noise.
+const detectSweepReps = 5
+
+// epochWallSlack is the measurement-noise allowance of the epoch-vs-interval
+// wall gate: the sweep fails only when the epoch scan loses by more than
+// this factor plus epochWallSlackMs. At small trace sizes both engines sit
+// within a millisecond of the shared emission floor, where a strict
+// comparison would gate on scheduler jitter rather than a regression.
+const (
+	epochWallSlack   = 1.10
+	epochWallSlackMs = 2.0
+)
+
+// DetectRun is one (scan mode, parallelism) measurement at one trace size,
+// on one backend.
 type DetectRun struct {
 	ScanMode    string `json:"scan_mode"`
 	Parallelism int    `json:"parallelism"`
 
-	DetectMs float64 `json:"detect_ms"`
+	// DetectMs is the minimum wall time over detectSweepReps repetitions;
+	// AllocBytes is the last repetition's allocation delta.
+	DetectMs   float64 `json:"detect_ms"`
+	AllocBytes int64   `json:"alloc_bytes"`
 
 	// HBQueries is the detect.hb_queries counter: point reachability
 	// queries issued during the scan. IntervalLookups counts boundary
-	// lookups (interval mode only).
+	// lookups (interval mode); EpochJoins counts cross-chain clock joins
+	// (epoch mode).
 	HBQueries       int64 `json:"hb_queries"`
 	IntervalLookups int64 `json:"interval_lookups,omitempty"`
+	EpochJoins      int64 `json:"epoch_joins,omitempty"`
 
 	Candidates int `json:"candidates"`
 
 	// Identical asserts this run's report rendered byte-identically to the
-	// sweep's reference run (quadratic scan, parallelism 1).
+	// backend's reference run (quadratic scan, parallelism 1).
 	Identical bool `json:"reports_identical"`
 }
 
-// DetectPoint groups the runs at one trace size. QueryRatio is
-// quadratic/interval HB queries at parallelism 1 (0 when the interval scan
-// issued none, as on the chain backend).
-type DetectPoint struct {
-	Records      int         `json:"records"`
+// DetectBackendPoint groups one backend's runs at one trace size.
+// QueryRatio is quadratic/interval HB queries at parallelism 1 (0 when the
+// interval scan issued none, as on the chain backend).
+type DetectBackendPoint struct {
+	Backend      string      `json:"backend"`
 	DynamicPairs int64       `json:"dynamic_pairs"`
 	QueryRatio   float64     `json:"query_ratio,omitempty"`
 	Runs         []DetectRun `json:"runs"`
 }
 
+// DetectPoint groups the per-backend measurements at one trace size.
+type DetectPoint struct {
+	Records  int                  `json:"records"`
+	Backends []DetectBackendPoint `json:"backends"`
+}
+
 // DetectSweep is the full -detect-records sweep, serialized into
 // BENCH_pipeline.json.
 type DetectSweep struct {
-	Backend  string        `json:"backend"`
 	MaxGroup int           `json:"max_group"`
 	Seed     int64         `json:"seed"`
+	Reps     int           `json:"reps"`
 	Points   []DetectPoint `json:"points"`
 }
 
-// RunDetectSweep measures both detection scan modes on a bounded-context
-// synthetic trace of each given size, over one chain-backend HB graph per
-// size (the backend whose boundary fast path the interval scan exploits;
-// dense grows O(V²) and would not fit the larger sizes). It returns an
-// error if any run's report diverges from the quadratic parallelism-1
-// reference, or if the interval scan did not issue strictly fewer HB
-// queries than the quadratic one.
+// RunDetectSweep measures all three detection scan modes on a
+// bounded-context synthetic trace of each given size, over one HB graph per
+// (size, backend). It returns an error if any run's report diverges from
+// its backend's quadratic parallelism-1 reference (or across backends), if
+// the interval scan did not issue strictly fewer HB queries than the
+// quadratic one, if the epoch sweep issued any HB query at all, or if the
+// epoch sweep lost to the interval scan at the same parallelism by more
+// than the noise allowance.
 func RunDetectSweep(sizes []int, seed int64, logf func(format string, args ...any)) (*DetectSweep, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	sweep := &DetectSweep{
-		Backend:  hb.BackendChain.String(),
 		MaxGroup: scalingMaxGroup,
 		Seed:     seed,
+		Reps:     detectSweepReps,
 	}
 	for _, n := range sizes {
 		tr := SyntheticTraceBounded(n, seed)
-		g, err := hb.Build(tr, hb.Config{ReachBackend: hb.BackendChain})
-		if err != nil {
-			return nil, fmt.Errorf("bench: building %d-record graph: %w", n, err)
-		}
 		point := DetectPoint{Records: n}
-		var reference string
-		var quadQueries, intervalQueries int64
-		for _, rc := range []struct {
-			mode detect.ScanMode
-			par  int
-		}{
-			{detect.ScanQuadratic, 1}, // the reference run
-			{detect.ScanInterval, 1},
-			{detect.ScanInterval, 8},
-		} {
-			rec := obs.New()
-			sp := rec.Span("bench.detect_sweep")
-			t0 := time.Now()
-			rep := detect.Find(g, detect.Options{
-				MaxGroup:    scalingMaxGroup,
-				Parallelism: rc.par,
-				Scan:        rc.mode,
-				Obs:         sp,
-			})
-			run := DetectRun{
-				ScanMode:    rc.mode.String(),
-				Parallelism: rc.par,
-				DetectMs:    float64(time.Since(t0).Microseconds()) / 1000,
+		var crossRef string
+		for _, be := range []hb.Backend{hb.BackendChain, hb.BackendDense} {
+			g, err := hb.Build(tr, hb.Config{ReachBackend: be})
+			if err != nil {
+				return nil, fmt.Errorf("bench: building %d-record %s graph: %w", n, be, err)
 			}
-			sp.End()
-			counters := rec.Counters()
-			run.HBQueries = counters["detect.hb_queries"]
-			run.IntervalLookups = counters["detect.interval_lookups"]
-			run.Candidates = rep.CallstackCount()
-			format := rep.Format(nil)
-			if reference == "" {
-				reference = format
-				run.Identical = true
-				quadQueries = run.HBQueries
-				point.DynamicPairs = counters["detect.dynamic_pairs"]
-			} else {
-				run.Identical = format == reference
+			bp := DetectBackendPoint{Backend: be.String()}
+			var reference string
+			var quadQueries, intervalQueries int64
+			epochMs := map[int]float64{}
+			intervalMs := map[int]float64{}
+			for _, rc := range []struct {
+				mode detect.ScanMode
+				par  int
+			}{
+				{detect.ScanQuadratic, 1}, // the reference run
+				{detect.ScanInterval, 1},
+				{detect.ScanInterval, 8},
+				{detect.ScanEpoch, 1},
+				{detect.ScanEpoch, 8},
+			} {
+				run := DetectRun{ScanMode: rc.mode.String(), Parallelism: rc.par}
+				var rep *detect.Report
+				var counters map[string]int64
+				for r := 0; r < detectSweepReps; r++ {
+					rec := obs.New()
+					sp := rec.Span("bench.detect_sweep")
+					t0 := time.Now()
+					rep = detect.Find(g, detect.Options{
+						MaxGroup:    scalingMaxGroup,
+						Parallelism: rc.par,
+						Scan:        rc.mode,
+						Obs:         sp,
+					})
+					ms := float64(time.Since(t0).Microseconds()) / 1000
+					sp.End()
+					if r == 0 || ms < run.DetectMs {
+						run.DetectMs = ms
+					}
+					if spans := rec.Spans(1); len(spans) > 0 {
+						run.AllocBytes = spans[0].AllocBytes
+					}
+					counters = rec.Counters()
+				}
+				run.HBQueries = counters["detect.hb_queries"]
+				run.IntervalLookups = counters["detect.interval_lookups"]
+				run.EpochJoins = counters["detect.epoch.joins"]
+				run.Candidates = rep.CallstackCount()
+				format := rep.Format(nil)
+				if reference == "" {
+					reference = format
+					run.Identical = true
+					quadQueries = run.HBQueries
+					bp.DynamicPairs = counters["detect.dynamic_pairs"]
+				} else {
+					run.Identical = format == reference
+				}
+				switch rc.mode {
+				case detect.ScanInterval:
+					intervalMs[rc.par] = run.DetectMs
+					if rc.par == 1 {
+						intervalQueries = run.HBQueries
+					}
+				case detect.ScanEpoch:
+					epochMs[rc.par] = run.DetectMs
+				}
+				logf("%d records, %s %s p%d: detect %.1fms (min of %d), %d hb queries, %d candidates, identical=%v",
+					n, bp.Backend, run.ScanMode, rc.par, run.DetectMs, detectSweepReps, run.HBQueries, run.Candidates, run.Identical)
+				bp.Runs = append(bp.Runs, run)
+				if !run.Identical {
+					point.Backends = append(point.Backends, bp)
+					sweep.Points = append(sweep.Points, point)
+					return sweep, fmt.Errorf("bench: %s %s p%d report diverged from quadratic p1 at %d records",
+						bp.Backend, run.ScanMode, rc.par, n)
+				}
+				if rc.mode == detect.ScanEpoch && run.HBQueries != 0 {
+					point.Backends = append(point.Backends, bp)
+					sweep.Points = append(sweep.Points, point)
+					return sweep, fmt.Errorf("bench: epoch scan issued %d HB queries on %s at %d records — sweep must be query-free",
+						run.HBQueries, bp.Backend, n)
+				}
 			}
-			if rc.mode != detect.ScanQuadratic && rc.par == 1 {
-				intervalQueries = run.HBQueries
+			if intervalQueries > 0 {
+				bp.QueryRatio = float64(quadQueries) / float64(intervalQueries)
 			}
-			logf("%d records, %s p%d: detect %.0fms, %d hb queries, %d candidates, identical=%v",
-				n, run.ScanMode, rc.par, run.DetectMs, run.HBQueries, run.Candidates, run.Identical)
-			point.Runs = append(point.Runs, run)
-			if !run.Identical {
+			if crossRef == "" {
+				crossRef = reference
+			} else if reference != crossRef {
+				point.Backends = append(point.Backends, bp)
 				sweep.Points = append(sweep.Points, point)
-				return sweep, fmt.Errorf("bench: %s p%d report diverged from quadratic p1 at %d records",
-					run.ScanMode, rc.par, n)
+				return sweep, fmt.Errorf("bench: backends disagreed on the reference report at %d records", n)
 			}
-		}
-		if intervalQueries > 0 {
-			point.QueryRatio = float64(quadQueries) / float64(intervalQueries)
+			point.Backends = append(point.Backends, bp)
+			if intervalQueries >= quadQueries && quadQueries > 0 {
+				sweep.Points = append(sweep.Points, point)
+				return sweep, fmt.Errorf("bench: interval scan issued %d HB queries, quadratic %d on %s at %d records — no query win",
+					intervalQueries, quadQueries, bp.Backend, n)
+			}
+			for _, par := range []int{1, 8} {
+				if epochMs[par] > intervalMs[par]*epochWallSlack+epochWallSlackMs {
+					sweep.Points = append(sweep.Points, point)
+					return sweep, fmt.Errorf("bench: epoch scan %.1fms slower than interval %.1fms on %s p%d at %d records",
+						epochMs[par], intervalMs[par], bp.Backend, par, n)
+				}
+			}
 		}
 		sweep.Points = append(sweep.Points, point)
-		if intervalQueries >= quadQueries && quadQueries > 0 {
-			return sweep, fmt.Errorf("bench: interval scan issued %d HB queries, quadratic %d at %d records — no query win",
-				intervalQueries, quadQueries, n)
-		}
 	}
 	return sweep, nil
 }

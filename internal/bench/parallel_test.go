@@ -81,13 +81,32 @@ func TestPipelineBenchRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !res.Identical {
-		t.Error("parallel and sequential pipeline reports diverged")
+		t.Error("pipeline legs rendered diverging reports")
 	}
 	if res.Candidates == 0 {
 		t.Error("pipeline bench found no candidates")
 	}
 	if res.PeakReachBytes <= 0 {
 		t.Error("no reachability memory accounted")
+	}
+	if len(res.Backends) != 2 {
+		t.Fatalf("pipeline measured %d backends, want 2", len(res.Backends))
+	}
+	for _, br := range res.Backends {
+		if len(br.Legs) != 5 {
+			t.Errorf("%s: %d detect legs, want 5", br.Backend, len(br.Legs))
+		}
+		if !br.Identical {
+			t.Errorf("%s: legs diverged", br.Backend)
+		}
+		if br.QuadDetectMs <= 0 || br.SeqDetectMs <= 0 || br.ParDetectMs <= 0 {
+			t.Errorf("%s: missing headline detect timings: %+v", br.Backend, br)
+		}
+		for _, leg := range br.Legs {
+			if leg.ScanMode == "epoch" && leg.HBQueries != 0 {
+				t.Errorf("%s: epoch leg issued %d HB queries", br.Backend, leg.HBQueries)
+			}
+		}
 	}
 	if _, err := res.JSON(); err != nil {
 		t.Errorf("JSON rendering failed: %v", err)

@@ -38,6 +38,12 @@ type ScalingRun struct {
 	// Identical asserts this run's report rendered byte-identically to the
 	// sweep's reference run (chain backend, parallelism 1).
 	Identical bool `json:"reports_identical,omitempty"`
+
+	// SlowerThanSeq flags a parallel run whose end-to-end time (build +
+	// detect) lost to its backend's sequential twin — a warning, not a
+	// failure, since single-CPU machines make every parallel leg pay
+	// goroutine overhead for no gain.
+	SlowerThanSeq bool `json:"slower_than_seq,omitempty"`
 }
 
 // ScalingPoint groups the runs at one trace size. DenseOverChain is the
@@ -77,6 +83,7 @@ func RunScalingSweep(sizes []int, budget, seed int64, logf func(format string, a
 		point := ScalingPoint{Records: n}
 		var reference string
 		var chainPeak, densePeak int64
+		seqTotal := map[string]float64{} // backend -> p1 build+detect ms
 		for _, rc := range []struct {
 			backend hb.Backend
 			par     int
@@ -127,6 +134,14 @@ func RunScalingSweep(sizes []int, budget, seed int64, logf func(format string, a
 			} else {
 				run.Identical = format == reference
 			}
+			total := run.BuildMs + run.DetectMs
+			if rc.par == 1 {
+				seqTotal[run.Backend] = total
+			} else if seq, ok := seqTotal[run.Backend]; ok && total > seq {
+				run.SlowerThanSeq = true
+				logf("WARNING: %d records, %s p%d lost to its sequential twin: %.0fms vs %.0fms",
+					n, run.Backend, rc.par, total, seq)
+			}
 			logf("%d records, %s p%d: build %.0fms, detect %.0fms, peak %.1fMB, %d candidates, identical=%v",
 				n, run.Backend, rc.par, run.BuildMs, run.DetectMs,
 				float64(run.PeakReachBytes)/(1<<20), run.Candidates, run.Identical)
@@ -145,10 +160,11 @@ func RunScalingSweep(sizes []int, budget, seed int64, logf func(format string, a
 	return sweep, nil
 }
 
-// BenchFile is the BENCH_pipeline.json schema (version 3): the
-// chunked-pipeline measurement (now with per-leg worker counts, both scan
-// modes and HB-query counters), the backend memory-scaling sweep, and the
-// detect-stage scan-mode sweep.
+// BenchFile is the BENCH_pipeline.json schema (version 4): the
+// chunked-pipeline measurement (per-backend leg matrices across all three
+// scan modes with per-leg wall/alloc/query counts), the backend
+// memory-scaling sweep (now flagging parallel runs that lose to their
+// sequential twin), and the per-backend detect-stage scan-mode sweep.
 type BenchFile struct {
 	SchemaVersion int                  `json:"schema_version"`
 	Pipeline      *PipelineBenchResult `json:"pipeline,omitempty"`

@@ -182,11 +182,14 @@ type Options struct {
 	// setting.
 	Parallelism int
 
-	// Scan selects the per-location scan algorithm: ScanInterval (the
-	// default, also chosen by ScanAuto) enumerates each access's
-	// concurrent partners per program-order chain with boundary lookups;
-	// ScanQuadratic keeps the original all-pairs ConcurrentOrdered scan as
-	// a reference oracle. Both produce byte-identical reports.
+	// Scan selects the scan algorithm: ScanEpoch (the usual ScanAuto
+	// choice) sweeps the whole trace once with chain clocks and issues no
+	// HB queries at all; ScanInterval enumerates each access's concurrent
+	// partners per program-order chain with boundary lookups; ScanQuadratic
+	// keeps the original all-pairs ConcurrentOrdered scan as a reference
+	// oracle. All three produce byte-identical reports. The epoch sweep is
+	// inherently one pass per graph, so Parallelism does not shard it —
+	// use FindChunked for parallel epoch throughput.
 	Scan ScanMode
 
 	// Obs, when non-nil, is the parent span for detection spans and
@@ -402,7 +405,18 @@ func findMap(g *hb.Graph, opts Options) (map[uint64]*foundPair, *internTable) {
 	sp := opts.Obs.Child("detect.find")
 	defer sp.End()
 	sp.Attr("reach_backend", g.Backend().String())
-	mode := opts.Scan.resolve()
+	mode := opts.Scan
+	var dec hb.ChainDecomposition
+	if mode == ScanAuto || mode == ScanEpoch {
+		dec = g.ChainDecomposition()
+		if mode == ScanAuto {
+			if dec.Chains() <= epochAutoMaxChains {
+				mode = ScanEpoch
+			} else {
+				mode = ScanInterval
+			}
+		}
+	}
 	sp.Attr("scan_mode", mode.String())
 	scan := scanObjectInterval
 	if mode == ScanQuadratic {
@@ -450,7 +464,13 @@ func findMap(g *hb.Graph, opts Options) (map[uint64]*foundPair, *internTable) {
 	tab := buildInternTable(g, objs, groups)
 
 	var found map[uint64]*foundPair
-	if p := opts.workers(); p > 1 && len(objs) > 1 {
+	if mode == ScanEpoch {
+		// The epoch sweep is one pass over the whole graph; it does not
+		// shard by location (window sharding in FindChunked is where its
+		// parallel throughput comes from).
+		found = map[uint64]*foundPair{}
+		scanEpochAll(g, dec, objs, groups, maxGroup, pull, tab, found, &pairSlab{}, sp)
+	} else if p := opts.workers(); p > 1 && len(objs) > 1 {
 		found = findSharded(g, scan, objs, groups, maxGroup, pull, tab, p, sp)
 	} else {
 		found = map[uint64]*foundPair{}

@@ -1,0 +1,125 @@
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dcatch/internal/hb"
+)
+
+// TestEpochMatchesOraclesRandom is the differential gate for the epoch
+// sweep: across random traces, every rule-ablation config, both reachability
+// backends, both parallelisms and a subsampled MaxGroup, the epoch report
+// must render byte-for-byte the quadratic reference's (and hence the
+// interval scanner's) — while issuing zero HB queries, since the sweep never
+// touches the reachability index.
+func TestEpochMatchesOraclesRandom(t *testing.T) {
+	ablations := []struct {
+		name string
+		cfg  hb.Config
+	}{
+		{"full", hb.Config{}},
+		{"noevent", hb.Config{DisableEvent: true}},
+		{"norpc", hb.Config{DisableRPC: true}},
+		{"nosocket", hb.Config{DisableSocket: true}},
+		{"nopush", hb.Config{DisablePush: true}},
+		{"noasync", hb.Config{DisableEvent: true, DisableRPC: true, DisableSocket: true, DisablePush: true}},
+	}
+	backends := []hb.Backend{hb.BackendDense, hb.BackendChain}
+	for trial := 0; trial < 3; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		tr := randomDetectTrace(rng, 250)
+		for _, ab := range ablations {
+			for _, be := range backends {
+				cfg := ab.cfg
+				cfg.ReachBackend = be
+				g, err := hb.Build(tr, cfg)
+				if err != nil {
+					t.Fatalf("trial %d %s/%s: %v", trial, ab.name, be, err)
+				}
+				for _, maxGroup := range []int{0, 20} {
+					label := fmt.Sprintf("trial %d %s/%s maxGroup=%d", trial, ab.name, be, maxGroup)
+					ref, refC := runScan(t, g, ScanQuadratic, 1, maxGroup)
+					ival, _ := runScan(t, g, ScanInterval, 1, maxGroup)
+					if ival != ref {
+						t.Fatalf("%s: interval diverged from quadratic", label)
+					}
+					for _, par := range []int{1, 4} {
+						got, gotC := runScan(t, g, ScanEpoch, par, maxGroup)
+						if got != ref {
+							t.Fatalf("%s p%d: epoch report diverged from quadratic\nepoch:\n%s\nquadratic:\n%s",
+								label, par, got, ref)
+						}
+						if q := gotC["detect.hb_queries"]; q != 0 {
+							t.Fatalf("%s p%d: epoch issued %d HB queries, want 0", label, par, q)
+						}
+						if gotC["detect.subsampled_locations"] != refC["detect.subsampled_locations"] {
+							t.Fatalf("%s p%d: subsampling diverged: epoch %d vs quadratic %d", label, par,
+								gotC["detect.subsampled_locations"], refC["detect.subsampled_locations"])
+						}
+						if gotC["detect.epoch.joins"]+gotC["detect.epoch.fastpath_hits"] == 0 {
+							t.Fatalf("%s p%d: epoch sweep counters empty", label, par)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEpochMatchesOraclesChunked runs the differential over the chunked
+// pipeline: per-window epoch sweeps plus the cross-window merge must match
+// the quadratic reference at any parallelism.
+func TestEpochMatchesOraclesChunked(t *testing.T) {
+	rng := rand.New(rand.NewSource(1100))
+	tr := randomDetectTrace(rng, 400)
+	chunks, err := hb.BuildChunked(tr, hb.ChunkConfig{ChunkSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(mode ScanMode, par int) string {
+		return FindChunked(chunks, Options{Scan: mode, Parallelism: par}).Format(nil)
+	}
+	ref := render(ScanQuadratic, 1)
+	if ref == "" {
+		t.Fatal("empty reference report; generator produced no candidates")
+	}
+	for _, par := range []int{1, 4} {
+		for _, mode := range []ScanMode{ScanEpoch, ScanInterval} {
+			if got := render(mode, par); got != ref {
+				t.Fatalf("chunked %s p%d diverged from quadratic p1:\n%s\nwant:\n%s", mode, par, got, ref)
+			}
+		}
+	}
+}
+
+// TestScanAutoResolvesToEpoch pins the default path: on an ordinary trace,
+// ScanAuto must behave exactly like ScanEpoch (same report, no HB queries).
+func TestScanAutoResolvesToEpoch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1200))
+	tr := randomDetectTrace(rng, 300)
+	g, err := hb.Build(tr, hb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, autoC := runScan(t, g, ScanAuto, 1, 0)
+	epoch, _ := runScan(t, g, ScanEpoch, 1, 0)
+	if auto != epoch {
+		t.Fatal("auto report diverged from epoch")
+	}
+	if autoC["detect.hb_queries"] != 0 {
+		t.Fatalf("auto resolved to a querying scan: %d HB queries", autoC["detect.hb_queries"])
+	}
+}
+
+// TestParseScanModeEpoch covers the flag plumbing for the new mode.
+func TestParseScanModeEpoch(t *testing.T) {
+	m, err := ParseScanMode("epoch")
+	if err != nil || m != ScanEpoch {
+		t.Fatalf("ParseScanMode(epoch) = %v, %v", m, err)
+	}
+	if m.String() != "epoch" {
+		t.Fatalf("ScanEpoch.String() = %q", m.String())
+	}
+}

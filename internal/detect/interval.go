@@ -31,8 +31,9 @@ import (
 type ScanMode int
 
 const (
-	// ScanAuto lets the library choose; it currently always resolves to
-	// ScanInterval.
+	// ScanAuto lets the library choose: the epoch sweep when the trace's
+	// chain decomposition is narrow enough (see epochAutoMaxChains), the
+	// interval scanner otherwise.
 	ScanAuto ScanMode = iota
 	// ScanInterval enumerates concurrent partners per program-order chain
 	// with boundary lookups (sub-quadratic in HB queries).
@@ -40,6 +41,9 @@ const (
 	// ScanQuadratic is the original all-pairs ConcurrentOrdered scan, kept
 	// as the sequential reference oracle.
 	ScanQuadratic
+	// ScanEpoch is the one-pass chain-clock sweep (epoch.go): O(n·C), zero
+	// HB queries, no reachability index on the scan path.
+	ScanEpoch
 )
 
 // ParseScanMode parses a -scan flag value.
@@ -47,16 +51,20 @@ func ParseScanMode(s string) (ScanMode, error) {
 	switch s {
 	case "", "auto":
 		return ScanAuto, nil
+	case "epoch":
+		return ScanEpoch, nil
 	case "interval":
 		return ScanInterval, nil
 	case "quadratic":
 		return ScanQuadratic, nil
 	}
-	return ScanAuto, fmt.Errorf("detect: unknown scan mode %q (want auto, interval or quadratic)", s)
+	return ScanAuto, fmt.Errorf("detect: unknown scan mode %q (want auto, epoch, interval or quadratic)", s)
 }
 
 func (m ScanMode) String() string {
 	switch m {
+	case ScanEpoch:
+		return "epoch"
 	case ScanInterval:
 		return "interval"
 	case ScanQuadratic:
@@ -65,13 +73,11 @@ func (m ScanMode) String() string {
 	return "auto"
 }
 
-// resolve maps ScanAuto onto the concrete algorithm.
-func (m ScanMode) resolve() ScanMode {
-	if m == ScanQuadratic {
-		return ScanQuadratic
-	}
-	return ScanInterval
-}
+// epochAutoMaxChains bounds ScanAuto's preference for the epoch sweep: the
+// sweep's clock work is O(n·C), so on a pathologically wide decomposition
+// (every handler its own chain on a short trace) the interval scanner's
+// per-location grouping is the safer default.
+const epochAutoMaxChains = 4096
 
 // scanObjectInterval folds one location's candidate pairs into found using
 // per-chain concurrency intervals. It emits exactly the pairs the quadratic

@@ -159,83 +159,74 @@ func (g *Graph) chainSeq() error {
 	return nil
 }
 
-// chainWavefront computes the same rows level by level from the sink side:
-// level(v) = 1 + max(level(succ)), so every successor of a level-L vertex
-// lives at a lower level and all level-L rows can be computed concurrently.
-// Identical output to chainSeq for the same reason the dense wavefront
-// matches its sequential pass: a row depends only on finished successor rows
-// and the min-meet is commutative.
-func (g *Graph) chainWavefront(p int, sp *obs.Span) error {
+// chainColumns computes the same rows sharded by chain *columns*: worker k
+// owns the contiguous column range [lo, hi) of every row and runs the full
+// reverse-trace-order pass over its slice. Workers share nothing writable —
+// row slices are disjoint by construction — so there are no barriers at all,
+// unlike the retired per-level wavefront whose barrier count scaled with the
+// longest chain (the dominant chain has length ≈ V/C, so barrier overhead
+// swamped the per-level work and parallel builds lost to sequential). The
+// O(E) successor iteration is duplicated per worker, but the O(V·C + E·C)
+// min-meet work — the actual cost — splits cleanly. Output is identical to
+// chainSeq: each worker computes the same columns the sequential pass would,
+// in the same dependency order.
+func (g *Graph) chainColumns(p int, sp *obs.Span) error {
 	n := g.N()
 	x := g.chainIdx()
 	offs, dst := g.outCSR()
-
-	lvl := make([]int32, n)
-	var maxL int32
-	for v := n - 1; v >= 0; v-- {
-		var l int32
-		for _, w := range dst[offs[v]:offs[v+1]] {
-			if lw := lvl[w] + 1; lw > l {
-				l = lw
-			}
-		}
-		lvl[v] = l
-		if l > maxL {
-			maxL = l
-		}
+	c := x.c
+	if p > c {
+		p = c
 	}
-	byLevel := make([][]int32, maxL+1)
-	for v := 0; v < n; v++ {
-		byLevel[lvl[v]] = append(byLevel[lvl[v]], int32(v))
-	}
-
-	// Same batching policy as the dense wavefront: narrow levels run
-	// inline, wide ones split into contiguous ranges, and per-batch spans
-	// are capped so the manifest stays bounded.
-	const maxBatchSpans = 32
-	batches, seqLevels, widest := 0, 0, 0
+	chunk := (c + p - 1) / p
 	var wg sync.WaitGroup
-	for lv, verts := range byLevel {
-		if len(verts) > widest {
-			widest = len(verts)
+	workers := 0
+	for k := 0; k < p; k++ {
+		lo := k * chunk
+		hi := lo + chunk
+		if hi > c {
+			hi = c
 		}
-		w := p
-		if len(verts) < 2*w {
-			seqLevels++
-			chainFill(x, offs, dst, verts)
-			continue
+		if lo >= hi {
+			break
 		}
-		var bsp *obs.Span
-		if batches < maxBatchSpans {
-			bsp = sp.Child("hb.closure.batch")
-			bsp.Attr("level", lv)
-			bsp.Attr("width", len(verts))
-		}
-		batches++
-		chunk := (len(verts) + w - 1) / w
-		for k := 0; k < w; k++ {
-			lo := k * chunk
-			hi := lo + chunk
-			if hi > len(verts) {
-				hi = len(verts)
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(part []int32) {
-				defer wg.Done()
-				chainFill(x, offs, dst, part)
-			}(verts[lo:hi])
-		}
-		wg.Wait()
-		bsp.End()
+		workers++
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			chainFillColumns(x, offs, dst, n, lo, hi)
+		}(lo, hi)
 	}
-	sp.Attr("levels", len(byLevel))
-	sp.Attr("widest_level", widest)
-	sp.Attr("parallel_batches", batches)
-	sp.Attr("sequential_levels", seqLevels)
+	wg.Wait()
+	sp.Attr("column_workers", workers)
+	sp.Attr("columns_per_worker", chunk)
 	return nil
+}
+
+// chainFillColumns is chainFill restricted to the column range [lo, hi):
+// one reverse-trace-order pass computing those columns of every row.
+func chainFillColumns(x *chainIndex, offs, dst []int32, n, lo, hi int) {
+	c := x.c
+	rows, cs := x.rows, x.cs
+	for v := n - 1; v >= 0; v-- {
+		row := rows[v*c+lo : v*c+hi]
+		for k := range row {
+			row[k] = chainUnreached
+		}
+		for _, w := range dst[offs[v]:offs[v+1]] {
+			wrow := rows[int(w)*c+lo : int(w)*c+hi]
+			for k, p := range wrow {
+				if p < row[k] {
+					row[k] = p
+				}
+			}
+			if cw := int(cs.chainOf[w]); lo <= cw && cw < hi {
+				if p := cs.posOf[w]; p < row[cw-lo] {
+					row[cw-lo] = p
+				}
+			}
+		}
+	}
 }
 
 // chainBits estimates the set-reachability-pair count of the chain index,

@@ -222,9 +222,9 @@ func TestChainMatchesDensePull(t *testing.T) {
 	diffBackends(t, "pull", dense, chain)
 }
 
-// TestChainParallelMatchesSequential locks the chain wavefront determinism:
-// the parallel schedule fills the exact same row matrix as the reverse-order
-// sequential reference.
+// TestChainParallelMatchesSequential locks the column-sharded parallel
+// build's determinism: the sharded schedule fills the exact same row matrix
+// as the reverse-order sequential reference.
 func TestChainParallelMatchesSequential(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		rng := rand.New(rand.NewSource(200 + seed))

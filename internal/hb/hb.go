@@ -102,6 +102,11 @@ type Graph struct {
 	chains  *chainSet     // chain/auto: the trace's chain decomposition
 	chain   *chainIndex   // chain: per-chain minimum reached positions
 
+	// dec memoizes ChainDecomposition on the dense backend, where no
+	// chainSet survives Build; a chainSet is immutable once constructed.
+	decOnce sync.Once
+	dec     *chainSet
+
 	// PullPairs lists the pull-synchronization pairs discovered while
 	// applying Rule-Mpull.
 	PullPairs []PullPair
@@ -474,8 +479,8 @@ func (g *Graph) closure(parent *obs.Span) error {
 	}
 	if g.backend == BackendChain {
 		if par > 0 {
-			sp.Attr("mode", "wavefront")
-			return g.chainWavefront(par, sp)
+			sp.Attr("mode", "columns")
+			return g.chainColumns(par, sp)
 		}
 		sp.Attr("mode", "sequential")
 		return g.chainSeq()

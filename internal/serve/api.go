@@ -59,8 +59,9 @@ type JobOptions struct {
 	// Reach selects the reachability backend: "", "dense", "chain", "auto"
 	// (dcatch -reach).
 	Reach string `json:"reach,omitempty"`
-	// Scan selects the detection scan algorithm: "", "auto", "interval",
-	// "quadratic" (dcatch -scan). Reports are byte-identical either way.
+	// Scan selects the detection scan algorithm: "", "auto", "epoch",
+	// "interval", "quadratic" (dcatch -scan). Reports are byte-identical in
+	// every mode.
 	Scan string `json:"scan,omitempty"`
 	// MemBudget bounds analysis reachability memory in bytes; it also
 	// drives the service's admission control (a job is not started until
