@@ -14,18 +14,27 @@
 //	                                   # any HB query, or epoch is slower than interval
 //	dcatch-bench -bench-json -records 100000,300000,1000000 -detect-records 10000,50000,100000
 //	                                   # pipeline + both sweeps in one file
+//	dcatch-bench -serve-load           # closed-loop load run against an in-process
+//	                                   # dcatch-serve, write BENCH_serve.json
+//	dcatch-bench -serve-load -serve-url http://host:8080
+//	                                   # same, against a running service
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"dcatch/internal/bench"
 	"dcatch/internal/obs"
+	"dcatch/internal/serve"
 )
 
 func main() {
@@ -40,11 +49,27 @@ func main() {
 		budget    = flag.Int64("bench-budget", 2<<30, "with -records: analysis memory budget in bytes")
 		detSweep  = flag.String("detect-records", "", "comma-separated trace sizes for the detect scan-mode sweep (quadratic vs interval vs epoch, both backends); exits 1 on report divergence, a missing interval query win, a querying epoch sweep, or epoch losing to interval on wall time")
 		version   = flag.Bool("version", false, "print the tool version and exit")
+
+		serveLoad    = flag.Bool("serve-load", false, "run the closed-loop service load benchmark and write its JSON result")
+		serveURL     = flag.String("serve-url", "", "with -serve-load: target a running dcatch-serve; empty starts one in-process")
+		serveConc    = flag.Int("serve-concurrency", 4, "with -serve-load: concurrent closed-loop clients")
+		serveJobs    = flag.Int("serve-jobs", 64, "with -serve-load: total jobs to push through")
+		serveMix     = flag.Float64("serve-upload-mix", 0.25, "with -serve-load: fraction of jobs submitted as trace uploads")
+		serveRecords = flag.Int("serve-records", 5000, "with -serve-load: synthetic upload trace length")
+		serveBench   = flag.String("serve-bench", "MR-3274", "with -serve-load: subject benchmark ID")
+		serveOut     = flag.String("serve-out", "BENCH_serve.json", "with -serve-load: output path")
 	)
 	flag.Parse()
 
 	if *version {
 		fmt.Println(obs.Version())
+		return
+	}
+	if *serveLoad {
+		if err := runServeLoad(*serveURL, *serveConc, *serveJobs, *serveMix, *serveRecords, *serveBench, *serveOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *benchJSON || *sweep != "" || *detSweep != "" {
@@ -174,6 +199,58 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(out)
+}
+
+// runServeLoad executes the service load benchmark. With no -serve-url it
+// stands up a real dcatch-serve on a loopback listener for the duration —
+// the measured path is still full HTTP, worker pool, admission and cache.
+func runServeLoad(url string, conc, jobs int, mix float64, records int, benchID, out string) error {
+	if url == "" {
+		s := serve.New(serve.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+			hs.Shutdown(ctx)
+		}()
+		url = "http://" + ln.Addr().String()
+		fmt.Printf("serve-load: in-process dcatch-serve on %s\n", url)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Minute)
+	defer cancel()
+	res, err := bench.RunServeLoad(ctx, bench.ServeLoadOptions{
+		URL:          url,
+		Concurrency:  conc,
+		Jobs:         jobs,
+		UploadMix:    mix,
+		TraceRecords: records,
+		Bench:        benchID,
+		Seed:         42,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("serve-load: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	buf, err := res.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("result written to %s\n", out)
+	if res.Failed > 0 || res.Canceled > 0 {
+		return fmt.Errorf("dcatch-bench: %d failed / %d canceled jobs", res.Failed, res.Canceled)
+	}
+	return nil
 }
 
 // parseSizes parses the -records list ("100000,300000,1000000").

@@ -37,6 +37,9 @@ func main() {
 		jobBytes = flag.Int64("job-bytes", 0, "admission estimate for jobs without their own mem_budget (0 = default 64 MiB)")
 		maxBody  = flag.Int64("max-body", 0, "request body size limit in bytes (0 = default 64 MiB)")
 		cacheN   = flag.Int("cache", 0, "report cache entries (0 = default 256, negative disables)")
+		eventBuf = flag.Int("event-buffer", 0, "per-job event ring size for /v1/jobs/{id}/events (0 = default 512)")
+		eventHB  = flag.Duration("event-heartbeat", 0, "event-stream keep-alive interval (0 = default 5s)")
+		noJobObs = flag.Bool("no-job-telemetry", false, "disable per-job recorders (/metrics keeps service-level data only)")
 		drainFor = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for accepted jobs to finish")
 		verbose  = flag.Bool("v", false, "log job progress to stderr")
 		version  = flag.Bool("version", false, "print the tool version and exit")
@@ -59,6 +62,9 @@ func main() {
 		DefaultJobBytes: *jobBytes,
 		MaxBodyBytes:    *maxBody,
 		CacheEntries:    *cacheN,
+		EventBuffer:     *eventBuf,
+		EventHeartbeat:  *eventHB,
+		NoJobTelemetry:  *noJobObs,
 		Obs:             rec,
 	})
 
@@ -68,7 +74,7 @@ func main() {
 		os.Exit(1)
 	}
 	httpSrv := &http.Server{Handler: s.Handler()}
-	fmt.Printf("dcatch-serve listening on http://%s (POST /v1/jobs, GET /healthz, /debug/vars)\n", ln.Addr())
+	fmt.Printf("dcatch-serve listening on http://%s (POST /v1/jobs, GET /healthz, /readyz, /metrics, /debug/vars)\n", ln.Addr())
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

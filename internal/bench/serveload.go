@@ -1,0 +1,530 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcatch/internal/obs"
+)
+
+// The serve load benchmark (dcatch-bench -serve-load) drives a live
+// dcatch-serve instance closed-loop: a fixed number of concurrent clients
+// each submit a job, wait for its terminal state, and immediately submit
+// the next, so offered load tracks service capacity and the measured
+// latency distribution is the service's own (queue wait + admission wait +
+// analysis), not coordinated-omission noise. The mix is subject jobs
+// (full-pipeline runs of a registered benchmark, unique seeds so the report
+// cache never short-circuits the work) and synthetic-trace uploads
+// (TA-only, unique options per upload for the same reason).
+//
+// The generator speaks plain HTTP v1 — it never imports internal/serve
+// (serve imports bench for the benchmark registry, so the dependency must
+// point this way). While jobs run it samples GET /readyz for the
+// queue-depth curve, and at the end it scrapes GET /metrics?format=json so
+// BENCH_serve.json carries the service's own registry snapshot (latency
+// histograms, admission counters) next to the client-side measurements.
+
+// ServeBenchVersion is the BENCH_serve.json schema version.
+const ServeBenchVersion = 1
+
+// ServeLoadOptions configures one load run. Zero values select defaults.
+type ServeLoadOptions struct {
+	// URL is the service base, e.g. "http://127.0.0.1:8080". Required.
+	URL string
+	// Concurrency is the closed-loop client count (default 4).
+	Concurrency int
+	// Jobs is the total number of jobs to push through (default 64).
+	Jobs int
+	// UploadMix is the fraction of jobs submitted as trace uploads rather
+	// than subject runs, in [0,1] (default 0.25).
+	UploadMix float64
+	// Bench is the subject benchmark ID (default "MR-3274").
+	Bench string
+	// TraceRecords sizes the synthetic upload trace (default 5000).
+	TraceRecords int
+	// Seed varies subject job seeds; job i runs seed Seed+i (default 1).
+	Seed int64
+	// SampleEvery is the /readyz sampling interval (default 100ms).
+	SampleEvery time.Duration
+	// Logf receives progress lines; nil disables.
+	Logf func(format string, args ...any)
+}
+
+func (o ServeLoadOptions) withDefaults() ServeLoadOptions {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 64
+	}
+	if o.UploadMix < 0 || o.UploadMix > 1 {
+		o.UploadMix = 0.25
+	}
+	if o.Bench == "" {
+		o.Bench = "MR-3274"
+	}
+	if o.TraceRecords <= 0 {
+		o.TraceRecords = 5000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 100 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// ServeLoadLatency is the client-observed job latency distribution
+// (submit to terminal state), exact nearest-rank quantiles over every job.
+type ServeLoadLatency struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// ServeLoadSample is one /readyz scrape: the service's queue and admission
+// state at one instant of the run.
+type ServeLoadSample struct {
+	AtMs       float64 `json:"at_ms"`
+	QueueDepth int     `json:"queue_depth"`
+	Running    int     `json:"running"`
+	MemInUse   int64   `json:"mem_in_use"`
+}
+
+// ServeLoadResult is BENCH_serve.json: what was offered (concurrency, job
+// count, mix), what came back (per-job latency quantiles, saturation
+// throughput, failure and backpressure counts), the queue-depth curve
+// sampled during the run, and the service's own /metrics registry snapshot.
+type ServeLoadResult struct {
+	SchemaVersion int     `json:"serve_bench_version"`
+	URL           string  `json:"url"`
+	Concurrency   int     `json:"concurrency"`
+	Jobs          int     `json:"jobs"`
+	UploadMix     float64 `json:"upload_mix"`
+	Bench         string  `json:"bench"`
+	TraceRecords  int     `json:"trace_records"`
+	Seed          int64   `json:"seed"`
+
+	WallMs               float64          `json:"wall_ms"`
+	ThroughputJobsPerSec float64          `json:"throughput_jobs_per_sec"`
+	Done                 int              `json:"done"`
+	Failed               int              `json:"failed"`
+	Canceled             int              `json:"canceled"`
+	CacheHits            int              `json:"cache_hits"`
+	Rejected429          int64            `json:"rejected_429"`
+	Latency              ServeLoadLatency `json:"latency"`
+
+	QueuePeak int               `json:"queue_peak"`
+	Samples   []ServeLoadSample `json:"samples"`
+
+	Registry *obs.RegistrySnapshot `json:"registry,omitempty"`
+}
+
+// JSON renders the result with stable indentation.
+func (r *ServeLoadResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Thin wire views of the serve v1 API — only the fields the generator
+// reads. Decoding ignores everything else, so these never chase the
+// service's own schema.
+type loadJobStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+	Error    string `json:"error"`
+}
+
+type loadErrorBody struct {
+	Error string `json:"error"`
+}
+
+type loadReadyz struct {
+	QueueDepth int   `json:"queue_depth"`
+	Running    int   `json:"running"`
+	MemInUse   int64 `json:"mem_in_use"`
+}
+
+// RunServeLoad executes one closed-loop load run against a live service.
+func RunServeLoad(ctx context.Context, opt ServeLoadOptions) (*ServeLoadResult, error) {
+	opt = opt.withDefaults()
+	if opt.URL == "" {
+		return nil, fmt.Errorf("bench: serve load needs a service URL")
+	}
+	known := false
+	for _, b := range Benchmarks() {
+		if b.ID == opt.Bench {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", opt.Bench)
+	}
+
+	// One synthetic trace encoded up front; every upload sends the same
+	// bytes with unique options, so the upload leg measures decode+analysis,
+	// not trace generation.
+	var traceBuf bytes.Buffer
+	if err := SyntheticTrace(opt.TraceRecords, opt.Seed).EncodeTo(&traceBuf); err != nil {
+		return nil, fmt.Errorf("bench: encoding load trace: %w", err)
+	}
+	traceBytes := traceBuf.Bytes()
+
+	res := &ServeLoadResult{
+		SchemaVersion: ServeBenchVersion,
+		URL:           opt.URL,
+		Concurrency:   opt.Concurrency,
+		Jobs:          opt.Jobs,
+		UploadMix:     opt.UploadMix,
+		Bench:         opt.Bench,
+		TraceRecords:  opt.TraceRecords,
+		Seed:          opt.Seed,
+	}
+	hc := &http.Client{}
+	lg := &loadGen{opt: opt, hc: hc, trace: traceBytes}
+
+	// Queue-depth sampler: runs until the workers finish.
+	sampleCtx, stopSampling := context.WithCancel(ctx)
+	defer stopSampling()
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	t0 := time.Now()
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(opt.SampleEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleCtx.Done():
+				return
+			case <-tick.C:
+				if s, ok := lg.sampleReadyz(sampleCtx); ok {
+					s.AtMs = float64(time.Since(t0).Microseconds()) / 1000
+					lg.mu.Lock()
+					lg.samples = append(lg.samples, s)
+					lg.mu.Unlock()
+				}
+			}
+		}
+	}()
+
+	// Closed-loop clients: a shared index hands out jobs; each client runs
+	// one job to its terminal state before taking the next.
+	var next atomic.Int64
+	var clientWG sync.WaitGroup
+	errc := make(chan error, opt.Concurrency)
+	for w := 0; w < opt.Concurrency; w++ {
+		clientWG.Add(1)
+		go func() {
+			defer clientWG.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opt.Jobs || ctx.Err() != nil {
+					return
+				}
+				if err := lg.runJob(ctx, i); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	clientWG.Wait()
+	wall := time.Since(t0)
+	stopSampling()
+	samplerWG.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res.WallMs = float64(wall.Microseconds()) / 1000
+	res.ThroughputJobsPerSec = float64(opt.Jobs) / wall.Seconds()
+	res.Done, res.Failed, res.Canceled, res.CacheHits = lg.done, lg.failed, lg.canceled, lg.cacheHits
+	res.Rejected429 = lg.rejected.Load()
+	res.Latency = latencyQuantiles(lg.latencies)
+	res.Samples = lg.samples
+	for _, s := range lg.samples {
+		if s.QueueDepth > res.QueuePeak {
+			res.QueuePeak = s.QueueDepth
+		}
+	}
+	if snap, err := lg.scrapeRegistry(ctx); err != nil {
+		opt.Logf("registry scrape failed: %v", err)
+	} else {
+		res.Registry = snap
+	}
+	opt.Logf("%d jobs in %.0fms: p50 %.1fms p90 %.1fms p99 %.1fms, %.1f jobs/s, queue peak %d, 429s %d",
+		opt.Jobs, res.WallMs, res.Latency.P50Ms, res.Latency.P90Ms, res.Latency.P99Ms,
+		res.ThroughputJobsPerSec, res.QueuePeak, res.Rejected429)
+	return res, nil
+}
+
+// loadGen is the shared state of one run's clients and sampler.
+type loadGen struct {
+	opt      ServeLoadOptions
+	hc       *http.Client
+	trace    []byte
+	rejected atomic.Int64
+
+	mu        sync.Mutex
+	latencies []float64
+	samples   []ServeLoadSample
+	done      int
+	failed    int
+	canceled  int
+	cacheHits int
+}
+
+// isUpload spreads the upload mix evenly over job indices (exact
+// proportion, deterministic, no RNG).
+func (g *loadGen) isUpload(i int) bool {
+	return int(float64(i+1)*g.opt.UploadMix) != int(float64(i)*g.opt.UploadMix)
+}
+
+// runJob drives one job submit → terminal, retrying 429 backpressure.
+func (g *loadGen) runJob(ctx context.Context, i int) error {
+	start := time.Now()
+	var st *loadJobStatus
+	for {
+		var err error
+		if g.isUpload(i) {
+			// Unique max_group per upload busts the report cache without
+			// changing the analysis: the synthetic trace's per-location
+			// groups are far below either cap.
+			st, err = g.submitTrace(ctx, 100_000+i)
+		} else {
+			st, err = g.submitSubject(ctx, g.opt.Seed+int64(i))
+		}
+		if err == nil {
+			break
+		}
+		if busy, retryAfter := isBusy(err); busy {
+			g.rejected.Add(1)
+			select {
+			case <-time.After(retryAfter):
+				continue
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return fmt.Errorf("bench: job %d: %w", i, err)
+	}
+	fin, err := g.waitTerminal(ctx, st.ID)
+	if err != nil {
+		return fmt.Errorf("bench: job %d (%s): %w", i, st.ID, err)
+	}
+	lat := float64(time.Since(start).Microseconds()) / 1000
+	g.mu.Lock()
+	g.latencies = append(g.latencies, lat)
+	switch fin.State {
+	case "done":
+		g.done++
+	case "canceled":
+		g.canceled++
+	default:
+		g.failed++
+	}
+	if fin.CacheHit {
+		g.cacheHits++
+	}
+	g.mu.Unlock()
+	if fin.State == "failed" {
+		return fmt.Errorf("bench: job %d (%s) failed: %s", i, st.ID, fin.Error)
+	}
+	return nil
+}
+
+// busyError carries a 429's retry hint.
+type busyError struct{ retryAfter time.Duration }
+
+func (e *busyError) Error() string { return "bench: serve queue full (429)" }
+
+func isBusy(err error) (bool, time.Duration) {
+	if be, ok := err.(*busyError); ok {
+		return true, be.retryAfter
+	}
+	return false, 0
+}
+
+func (g *loadGen) submitSubject(ctx context.Context, seed int64) (*loadJobStatus, error) {
+	body, _ := json.Marshal(map[string]any{
+		"bench": g.opt.Bench,
+		"seeds": []int64{seed},
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.opt.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return g.doSubmit(req)
+}
+
+func (g *loadGen) submitTrace(ctx context.Context, maxGroup int) (*loadJobStatus, error) {
+	u := fmt.Sprintf("%s/v1/jobs?max_group=%d", g.opt.URL, maxGroup)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(g.trace))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	return g.doSubmit(req)
+}
+
+func (g *loadGen) doSubmit(req *http.Request) (*loadJobStatus, error) {
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := 100 * time.Millisecond
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if d, err := time.ParseDuration(ra + "s"); err == nil {
+				retry = d
+			}
+		}
+		return nil, &busyError{retryAfter: retry}
+	}
+	if resp.StatusCode >= 300 {
+		var eb loadErrorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, eb.Error)
+		}
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st loadJobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("bad submit response: %w", err)
+	}
+	return &st, nil
+}
+
+// waitTerminal polls the job status until done/failed/canceled.
+func (g *loadGen) waitTerminal(ctx context.Context, id string) (*loadJobStatus, error) {
+	const poll = 20 * time.Millisecond
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.opt.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := g.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		var st loadJobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			return nil, fmt.Errorf("bad status response: %w", err)
+		}
+		switch st.State {
+		case "done", "failed", "canceled":
+			return &st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// sampleReadyz scrapes one queue-state sample; failures are skipped (the
+// service may 503 while a drain test runs it down).
+func (g *loadGen) sampleReadyz(ctx context.Context) (ServeLoadSample, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.opt.URL+"/readyz", nil)
+	if err != nil {
+		return ServeLoadSample{}, false
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return ServeLoadSample{}, false
+	}
+	defer resp.Body.Close()
+	var rz loadReadyz
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		return ServeLoadSample{}, false
+	}
+	return ServeLoadSample{QueueDepth: rz.QueueDepth, Running: rz.Running, MemInUse: rz.MemInUse}, true
+}
+
+// scrapeRegistry fetches the service's versioned metrics snapshot.
+func (g *loadGen) scrapeRegistry(ctx context.Context) (*obs.RegistrySnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.opt.URL+"/metrics?format=json", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("bench: /metrics HTTP %d", resp.StatusCode)
+	}
+	var snap obs.RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("bench: bad registry snapshot: %w", err)
+	}
+	if snap.SchemaVersion != obs.RegistryVersion {
+		return nil, fmt.Errorf("bench: registry_version %d, want %d", snap.SchemaVersion, obs.RegistryVersion)
+	}
+	return &snap, nil
+}
+
+// latencyQuantiles computes exact nearest-rank quantiles.
+func latencyQuantiles(ms []float64) ServeLoadLatency {
+	var out ServeLoadLatency
+	if len(ms) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	out.P50Ms = rank(0.50)
+	out.P90Ms = rank(0.90)
+	out.P99Ms = rank(0.99)
+	out.MeanMs = sum / float64(len(sorted))
+	out.MaxMs = sorted[len(sorted)-1]
+	return out
+}

@@ -7,16 +7,21 @@ import (
 )
 
 // DebugMux returns a mux serving the Go runtime's pprof profiles
-// (/debug/pprof/) and expvar metrics (/debug/vars). It is the one debug
-// surface every long-lived dcatch process mounts — dcatch-serve on its
-// service mux and dcatch-trigger -debug-addr on a side listener — so a
-// stuck or slow run can be diagnosed in place with the same endpoints
-// everywhere.
+// (/debug/pprof/), expvar metrics (/debug/vars) and the registry's metrics
+// export (/metrics: Prometheus text, ?format=json for the versioned JSON
+// snapshot). It is the one debug surface every long-lived dcatch process
+// mounts — dcatch-serve on its service mux and dcatch-trigger -debug-addr
+// on a side listener — so a stuck or slow run can be diagnosed in place
+// with the same endpoints everywhere. A nil registry still mounts /metrics,
+// over an empty aggregate.
 //
 // Handlers are registered on a fresh mux rather than via net/http/pprof's
 // DefaultServeMux side effect, so callers can compose it under a prefix
 // without exposing anything else that happens to be registered globally.
-func DebugMux() *http.ServeMux {
+func DebugMux(reg *Registry) *http.ServeMux {
+	if reg == nil {
+		reg = NewRegistry()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -24,5 +29,6 @@ func DebugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", reg.Handler())
 	return mux
 }

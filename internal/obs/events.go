@@ -1,0 +1,53 @@
+package obs
+
+import "time"
+
+// Live telemetry events: a Recorder with an event sink installed publishes
+// one Event per span open/close and per Logf line, as they happen. This is
+// the substrate of dcatch-serve's per-job event streams
+// (GET /v1/jobs/{id}/events): the service attaches a sink that feeds a
+// bounded per-job buffer, so clients watch analysis stages progress live
+// instead of polling a terminal status.
+//
+// The sink is called synchronously on the instrumented goroutine and
+// outside the recorder's mutex: it must be fast and non-blocking (drop,
+// don't wait) and may call back into the Recorder. With no sink installed,
+// recording cost is unchanged — events are never materialized.
+
+// Event types.
+const (
+	EventSpanStart = "span_start" // a stage or child span opened
+	EventSpanEnd   = "span_end"   // a span closed; WallMs is its duration
+	EventLog       = "log"        // a Logf progress line; Msg is the text
+	EventState     = "state"      // a state transition; Name is the new state
+	EventHeartbeat = "heartbeat"  // stream keep-alive, no recorder activity
+)
+
+// Event is one live telemetry notification. Seq is assigned by the consumer
+// side (the serve event hub numbers events per job); AtMs is milliseconds
+// since the recorder (or job) started.
+type Event struct {
+	Seq    int64   `json:"seq"`
+	AtMs   float64 `json:"at_ms"`
+	Type   string  `json:"type"`
+	Name   string  `json:"name,omitempty"`
+	WallMs float64 `json:"wall_ms,omitempty"`
+	Msg    string  `json:"msg,omitempty"`
+}
+
+// SetEvents installs fn as the recorder's event sink; nil removes it.
+// Install the sink before handing the recorder to instrumented code —
+// events emitted earlier are not replayed.
+func (r *Recorder) SetEvents(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = fn
+	r.mu.Unlock()
+}
+
+// sinceMs is the event timestamp helper: milliseconds since t0.
+func sinceMs(t0 time.Time) float64 {
+	return float64(time.Since(t0).Microseconds()) / 1000
+}

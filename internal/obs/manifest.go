@@ -4,7 +4,16 @@ import "encoding/json"
 
 // ManifestVersion is bumped whenever the manifest schema changes
 // incompatibly; consumers must check it before interpreting fields.
-const ManifestVersion = 1
+//
+// Version history:
+//
+//	v1 — counters, spans, stats, mem_high_water_bytes.
+//	v2 — adds the required "histograms" key (named latency/size
+//	     distributions recorded via Recorder.Observe). v1 consumers that
+//	     ignore unknown keys read v2 manifests unchanged; the version is
+//	     bumped because the required-key set grew, so v2-aware validators
+//	     can insist on it.
+const ManifestVersion = 2
 
 // Manifest is the versioned machine-readable record of one pipeline run,
 // written by `dcatch -metrics-json`: what ran (tool, version, benchmark,
@@ -12,17 +21,18 @@ const ManifestVersion = 1
 // memory it peaked at. Stats is the caller's stage-statistics struct
 // (core.Stats for detection runs), serialized as-is.
 type Manifest struct {
-	SchemaVersion     int               `json:"manifest_version"`
-	Tool              string            `json:"tool"`
-	ToolVersion       string            `json:"tool_version"`
-	VCSRevision       string            `json:"vcs_revision,omitempty"`
-	Benchmark         string            `json:"benchmark,omitempty"`
-	Seed              int64             `json:"seed"`
-	Flags             map[string]string `json:"flags,omitempty"`
-	Stats             any               `json:"stats"`
-	Counters          map[string]int64  `json:"counters"`
-	Spans             []SpanData        `json:"spans"`
-	MemHighWaterBytes uint64            `json:"mem_high_water_bytes"`
+	SchemaVersion     int                      `json:"manifest_version"`
+	Tool              string                   `json:"tool"`
+	ToolVersion       string                   `json:"tool_version"`
+	VCSRevision       string                   `json:"vcs_revision,omitempty"`
+	Benchmark         string                   `json:"benchmark,omitempty"`
+	Seed              int64                    `json:"seed"`
+	Flags             map[string]string        `json:"flags,omitempty"`
+	Stats             any                      `json:"stats"`
+	Counters          map[string]int64         `json:"counters"`
+	Histograms        map[string]HistogramData `json:"histograms"`
+	Spans             []SpanData               `json:"spans"`
+	MemHighWaterBytes uint64                   `json:"mem_high_water_bytes"`
 }
 
 // NewManifest returns a manifest skeleton for the named tool.
@@ -48,6 +58,10 @@ func (m *Manifest) Attach(r *Recorder) {
 	m.Spans = r.Spans(0)
 	if m.Spans == nil {
 		m.Spans = []SpanData{}
+	}
+	m.Histograms = r.HistogramData()
+	if m.Histograms == nil {
+		m.Histograms = map[string]HistogramData{}
 	}
 	m.MemHighWaterBytes = r.MemHighWater()
 }

@@ -31,12 +31,23 @@ var memSampleNames = []string{
 	"/memory/classes/heap/objects:bytes", // live heap bytes
 }
 
-// memSample returns (cumulative allocated bytes, live heap bytes).
-func memSample() (allocs, heap uint64) {
+// memSamplePool recycles the sample slices memSample hands to
+// metrics.Read: a fresh slice per span boundary showed up as the single
+// allocation on every measured span, so the slices are pooled (pointer-typed
+// to keep the pool itself allocation-free) and span boundaries are now
+// alloc-free in steady state (locked by TestMemSampleAllocs).
+var memSamplePool = sync.Pool{New: func() any {
 	s := make([]metrics.Sample, len(memSampleNames))
 	for i := range s {
 		s[i].Name = memSampleNames[i]
 	}
+	return &s
+}}
+
+// memSample returns (cumulative allocated bytes, live heap bytes).
+func memSample() (allocs, heap uint64) {
+	sp := memSamplePool.Get().(*[]metrics.Sample)
+	s := *sp
 	metrics.Read(s)
 	if s[0].Value.Kind() == metrics.KindUint64 {
 		allocs = s[0].Value.Uint64()
@@ -44,6 +55,7 @@ func memSample() (allocs, heap uint64) {
 	if s[1].Value.Kind() == metrics.KindUint64 {
 		heap = s[1].Value.Uint64()
 	}
+	memSamplePool.Put(sp)
 	return allocs, heap
 }
 
@@ -55,7 +67,9 @@ type Recorder struct {
 	t0       time.Time
 	spans    []*Span
 	counters map[string]int64
+	hists    map[string]*Histogram
 	logw     io.Writer
+	events   func(Event)
 	memHW    uint64
 }
 
@@ -75,19 +89,71 @@ func (r *Recorder) SetLog(w io.Writer) {
 }
 
 // Logf emits one progress line prefixed with the elapsed run time. A nil
-// recorder or an unset log writer drops the line.
+// recorder drops the line; with neither a log writer nor an event sink set
+// the line is never even formatted.
 func (r *Recorder) Logf(format string, args ...any) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	w, t0 := r.logw, r.t0
+	w, t0, sink := r.logw, r.t0, r.events
 	r.mu.Unlock()
-	if w == nil {
+	if w == nil && sink == nil {
 		return
 	}
-	fmt.Fprintf(w, "[dcatch +%8.1fms] %s\n",
-		float64(time.Since(t0).Microseconds())/1000, fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	if w != nil {
+		fmt.Fprintf(w, "[dcatch +%8.1fms] %s\n",
+			float64(time.Since(t0).Microseconds())/1000, msg)
+	}
+	if sink != nil {
+		sink(Event{Type: EventLog, Msg: msg, AtMs: sinceMs(t0)})
+	}
+}
+
+// Observe records v into the named histogram, creating it on first use.
+func (r *Recorder) Observe(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		if r.hists == nil {
+			r.hists = map[string]*Histogram{}
+		}
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	h.Observe(v)
+}
+
+// Histograms returns the live named histograms (shared, concurrency-safe
+// objects — the Registry merges them without copying).
+func (r *Recorder) Histograms() map[string]*Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		out[k] = h
+	}
+	return out
+}
+
+// HistogramData exports every named histogram's snapshot.
+func (r *Recorder) HistogramData() map[string]HistogramData {
+	if r == nil {
+		return nil
+	}
+	out := map[string]HistogramData{}
+	for k, h := range r.Histograms() {
+		out[k] = h.Export()
+	}
+	return out
 }
 
 // Count adds n to the named counter.
@@ -170,7 +236,11 @@ func (r *Recorder) Span(name string) *Span {
 		r.memHW = heap
 	}
 	r.spans = append(r.spans, s)
+	sink, t0 := r.events, r.t0
 	r.mu.Unlock()
+	if sink != nil {
+		sink(Event{Type: EventSpanStart, Name: name, AtMs: sinceMs(t0)})
+	}
 	return s
 }
 
@@ -199,7 +269,11 @@ func (s *Span) Child(name string) *Span {
 	c := &Span{rec: s.rec, name: name, start: time.Now()}
 	s.rec.mu.Lock()
 	s.children = append(s.children, c)
+	sink, t0 := s.rec.events, s.rec.t0
 	s.rec.mu.Unlock()
+	if sink != nil {
+		sink(Event{Type: EventSpanStart, Name: name, AtMs: sinceMs(t0)})
+	}
 	return c
 }
 
@@ -262,7 +336,14 @@ func (s *Span) End() {
 	if heap > s.rec.memHW {
 		s.rec.memHW = heap
 	}
+	sink, t0 := s.rec.events, s.rec.t0
 	s.rec.mu.Unlock()
+	if sink != nil {
+		sink(Event{
+			Type: EventSpanEnd, Name: s.name, AtMs: sinceMs(t0),
+			WallMs: float64(wall.Microseconds()) / 1000,
+		})
+	}
 }
 
 // SpanData is the exportable form of a span tree node (manifest JSON).

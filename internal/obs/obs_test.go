@@ -13,8 +13,10 @@ import (
 func TestNilSafety(t *testing.T) {
 	var r *Recorder
 	r.SetLog(nil)
+	r.SetEvents(nil)
 	r.Logf("dropped %d", 1)
 	r.Count("x", 1)
+	r.Observe("lat", 1)
 	if r.Counters() != nil || r.CounterNames() != nil || r.Spans(0) != nil {
 		t.Fatal("nil recorder must return nil data")
 	}
@@ -37,8 +39,58 @@ func TestNilSafety(t *testing.T) {
 
 	var m Manifest
 	m.Attach(r)
-	if m.Counters == nil || m.Spans == nil {
-		t.Fatal("Attach(nil) must still produce non-nil counters/spans")
+	if m.Counters == nil || m.Spans == nil || m.Histograms == nil {
+		t.Fatal("Attach(nil) must still produce non-nil counters/spans/histograms")
+	}
+}
+
+// TestMemSampleAllocs locks the pooled memSample path at zero allocations:
+// span boundaries fire on every measured stage and must stay alloc-free in
+// steady state.
+func TestMemSampleAllocs(t *testing.T) {
+	memSample() // warm the pool
+	if n := testing.AllocsPerRun(100, func() { memSample() }); n != 0 {
+		t.Fatalf("memSample allocates %v times per call, want 0", n)
+	}
+}
+
+// TestEvents checks that an installed sink sees span boundaries and log
+// lines in order, and that removing the sink stops emission.
+func TestEvents(t *testing.T) {
+	r := New()
+	var got []Event
+	r.SetEvents(func(e Event) { got = append(got, e) })
+	st := r.Span("stage")
+	r.Logf("progress %d", 1)
+	c := st.Child("inner")
+	c.End()
+	st.End()
+	r.SetEvents(nil)
+	r.Span("silent").End()
+
+	types := make([]string, len(got))
+	for i, e := range got {
+		types[i] = e.Type
+	}
+	want := []string{EventSpanStart, EventLog, EventSpanStart, EventSpanEnd, EventSpanEnd}
+	if len(types) != len(want) {
+		t.Fatalf("event types = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("event types = %v, want %v", types, want)
+		}
+	}
+	if got[0].Name != "stage" || got[1].Msg != "progress 1" || got[2].Name != "inner" {
+		t.Fatalf("events = %+v", got)
+	}
+	if got[4].Name != "stage" || got[4].WallMs < 0 {
+		t.Fatalf("span_end event = %+v", got[4])
+	}
+	for i, e := range got {
+		if e.AtMs < 0 {
+			t.Fatalf("event %d has negative timestamp: %+v", i, e)
+		}
 	}
 }
 
@@ -139,7 +191,7 @@ func TestManifestSchema(t *testing.T) {
 	}
 	for _, key := range []string{
 		"manifest_version", "tool", "tool_version", "seed",
-		"stats", "spans", "counters", "mem_high_water_bytes",
+		"stats", "spans", "counters", "histograms", "mem_high_water_bytes",
 	} {
 		if _, ok := raw[key]; !ok {
 			t.Errorf("manifest missing required key %q", key)

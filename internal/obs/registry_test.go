@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	a, b := New(), New()
+	a.Count("jobs", 2)
+	b.Count("jobs", 3)
+	b.Count("rejects", 1)
+	a.Observe("lat_us", 100)
+	b.Observe("lat_us", 200)
+	reg.Register(a)
+	reg.Register(b)
+	reg.Gauge("queue_depth", func() float64 { return 7 })
+
+	snap := reg.Snapshot()
+	if snap.SchemaVersion != RegistryVersion {
+		t.Fatalf("registry_version = %d", snap.SchemaVersion)
+	}
+	if snap.Sources != 2 {
+		t.Fatalf("sources = %d", snap.Sources)
+	}
+	if snap.Counters["jobs"] != 5 || snap.Counters["rejects"] != 1 {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	if snap.Gauges["queue_depth"] != 7 {
+		t.Fatalf("gauges = %+v", snap.Gauges)
+	}
+	h := snap.Histograms["lat_us"]
+	if h.Count != 2 || h.Min != 100 || h.Max != 200 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+}
+
+func TestRegistryNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Register(New())
+	reg.Gauge("x", func() float64 { return 1 })
+	snap := reg.Snapshot()
+	if snap.SchemaVersion != RegistryVersion || snap.Sources != 0 {
+		t.Fatalf("nil registry snapshot = %+v", snap)
+	}
+	NewRegistry().Register(nil) // no panic
+}
+
+// promLine matches every valid sample line the exporter may emit.
+var promLine = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{le="(\+Inf|\d+)"\})? -?\d+(\.\d+)?(e[+-]\d+)?$`)
+
+// TestRegistryPromFormat scrapes the handler and validates the Prometheus
+// text exposition: well-formed lines, cumulative le-ordered buckets, +Inf
+// bucket equal to _count.
+func TestRegistryPromFormat(t *testing.T) {
+	reg := NewRegistry()
+	r := New()
+	r.Count("serve.jobs.total", 3)
+	for v := int64(1); v <= 100; v++ {
+		r.Observe("serve.job.wall_us", v*50)
+	}
+	reg.Register(r)
+	reg.Gauge("serve.queue_depth", func() float64 { return 2 })
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(w, req)
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := w.Body.String()
+
+	var bucketCum, lastLe, infCount, count int64
+	lastLe = -1
+	sawTypes := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			sawTypes[parts[3]] = true
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		switch {
+		case strings.Contains(line, `_bucket{le="+Inf"}`):
+			infCount, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+		case strings.Contains(line, "_bucket{le="):
+			le, _ := strconv.ParseInt(line[strings.Index(line, `le="`)+4:strings.Index(line, `"}`)], 10, 64)
+			if le <= lastLe {
+				t.Fatalf("bucket le %d not increasing after %d", le, lastLe)
+			}
+			lastLe = le
+			v, _ := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+			if v < bucketCum {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			bucketCum = v
+		case strings.HasSuffix(strings.Fields(line)[0], "_count"):
+			count, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+		}
+	}
+	for _, typ := range []string{"counter", "gauge", "histogram"} {
+		if !sawTypes[typ] {
+			t.Errorf("no %s TYPE line in output", typ)
+		}
+	}
+	if infCount != 100 || count != 100 {
+		t.Fatalf("+Inf bucket = %d, _count = %d, want 100", infCount, count)
+	}
+	if !strings.Contains(body, "dcatch_serve_jobs_total 3") {
+		t.Errorf("counter sample missing:\n%s", body)
+	}
+	if !strings.Contains(body, "dcatch_serve_queue_depth 2") {
+		t.Errorf("gauge sample missing:\n%s", body)
+	}
+
+	// Scraping an unchanged registry is byte-identical.
+	w2 := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(w2, req)
+	if w2.Body.String() != body {
+		t.Error("two scrapes of an unchanged registry differ")
+	}
+}
+
+func TestRegistryJSONFormat(t *testing.T) {
+	reg := NewRegistry()
+	r := New()
+	r.Count("jobs", 1)
+	reg.Register(r)
+	req := httptest.NewRequest("GET", "/metrics?format=json", nil)
+	w := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(w, req)
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemaVersion != RegistryVersion || snap.Counters["jobs"] != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"dcatch/internal/core"
 	"dcatch/internal/detect"
 	"dcatch/internal/hb"
+	"dcatch/internal/obs"
 )
 
 // Wire types of the detection-service JSON API (version v1).
@@ -107,6 +108,28 @@ type JobStatus struct {
 // errorBody is the JSON error envelope for non-2xx responses.
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// JobMetricsVersion is bumped whenever the per-job metrics schema changes
+// incompatibly.
+const JobMetricsVersion = 1
+
+// JobMetrics is the versioned per-job telemetry snapshot served by
+// GET /v1/jobs/{id}/metrics: the counters, histograms and span timeline the
+// job's analysis recorded (the service-side queue-wait, admission-wait and
+// run spans included), plus how many live events its stream dropped on slow
+// consumers. Available at any point in the job's life; an unfinished job
+// reports its spans so far.
+type JobMetrics struct {
+	SchemaVersion int                          `json:"job_metrics_version"`
+	ID            string                       `json:"id"`
+	Kind          string                       `json:"kind"`
+	State         string                       `json:"state"`
+	CacheHit      bool                         `json:"cache_hit,omitempty"`
+	Counters      map[string]int64             `json:"counters"`
+	Histograms    map[string]obs.HistogramData `json:"histograms"`
+	Spans         []obs.SpanData               `json:"spans"`
+	EventsDropped int64                        `json:"events_dropped"`
 }
 
 // coreOptions translates JobOptions into core.Options; seed 0 keeps the

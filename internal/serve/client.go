@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -11,6 +12,8 @@ import (
 	"net/url"
 	"strconv"
 	"time"
+
+	"dcatch/internal/obs"
 )
 
 // Client is the thin HTTP client for a dcatch-serve instance; the dcatch
@@ -163,6 +166,74 @@ func (c *Client) Report(id string) ([]byte, error) {
 		return nil, &StatusError{Code: resp.StatusCode, Message: string(body)}
 	}
 	return body, nil
+}
+
+// JobMetrics fetches one job's telemetry snapshot.
+func (c *Client) JobMetrics(id string) (*JobMetrics, error) {
+	resp, err := c.httpClient().Get(c.Base + "/v1/jobs/" + id + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("serve: job metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading job metrics: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return nil, &StatusError{Code: resp.StatusCode, Message: eb.Error}
+		}
+		return nil, &StatusError{Code: resp.StatusCode, Message: string(body)}
+	}
+	var jm JobMetrics
+	if err := json.Unmarshal(body, &jm); err != nil {
+		return nil, fmt.Errorf("serve: bad job metrics body: %w", err)
+	}
+	return &jm, nil
+}
+
+// StreamEvents consumes one job's NDJSON event stream, calling fn per
+// event. It returns nil when the stream ends (the job went terminal), fn's
+// error if fn fails, or the transport error. ctx cancellation aborts the
+// stream.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(obs.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: events: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var eb errorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return &StatusError{Code: resp.StatusCode, Message: eb.Error}
+		}
+		return &StatusError{Code: resp.StatusCode, Message: string(body)}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return fmt.Errorf("serve: bad event line %q: %w", line, err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("serve: events stream: %w", err)
+	}
+	return nil
 }
 
 // Cancel requests cancellation of a job.

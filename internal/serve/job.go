@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dcatch/internal/core"
@@ -46,16 +47,20 @@ type job struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 	done     chan struct{} // closed on terminal state
+	rec      *obs.Recorder // per-job telemetry (nil with NoJobTelemetry)
+	hub      *eventHub     // live event stream (nil on direct submissions)
+	qspan    *obs.Span     // open serve.queue_wait span, set before enqueue
 
-	mu       sync.Mutex
-	state    string
-	claimed  bool // a worker owns the terminal transition
-	cacheHit bool
-	errMsg   string
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	result   *jobResult
+	mu        sync.Mutex
+	state     string
+	claimed   bool // a worker owns the terminal transition
+	cacheHit  bool
+	errMsg    string
+	created   time.Time
+	claimedAt time.Time
+	started   time.Time
+	finished  time.Time
+	result    *jobResult
 }
 
 // status snapshots the job for the API.
@@ -97,6 +102,10 @@ type manager struct {
 	drain lifecycle.Drainer // accepted-but-unfinished jobs
 	wg    sync.WaitGroup    // worker goroutines
 
+	// draining flips once shutdown begins; /healthz reads only this, so
+	// liveness stays cheap no matter how contended the manager mutex is.
+	draining atomic.Bool
+
 	mu      sync.Mutex
 	closed  bool
 	jobs    map[string]*job
@@ -124,7 +133,7 @@ func newManager(cfg Config, rec *obs.Recorder) *manager {
 // submit registers a new job. A cache hit completes the job immediately
 // (no queue slot, no analysis); otherwise the job takes a queue slot or is
 // refused with ErrQueueFull.
-func (m *manager) submit(kind, bench, cacheKey string, memNeed int64, run func() (*jobResult, error)) (*job, error) {
+func (m *manager) submit(kind, bench, cacheKey string, memNeed int64, tel jobTelemetry, run func() (*jobResult, error)) (*job, error) {
 	if memNeed <= 0 {
 		memNeed = m.cfg.DefaultJobBytes
 	}
@@ -148,6 +157,8 @@ func (m *manager) submit(kind, bench, cacheKey string, memNeed int64, run func()
 		ctx:      ctx,
 		cancel:   cancel,
 		done:     make(chan struct{}),
+		rec:      tel.rec,
+		hub:      tel.hub,
 		state:    StateQueued,
 		created:  time.Now(),
 	}
@@ -162,6 +173,9 @@ func (m *manager) submit(kind, bench, cacheKey string, memNeed int64, run func()
 		j.finished = j.created
 		close(j.done)
 		m.registerLocked(j)
+		m.rec.Observe("serve.job.wall_us", 0)
+		j.hub.publishState(StateDone)
+		j.hub.close()
 		return j, nil
 	}
 	m.rec.Count("serve.cache.misses", 1)
@@ -170,11 +184,18 @@ func (m *manager) submit(kind, bench, cacheKey string, memNeed int64, run func()
 		cancel()
 		return nil, ErrShuttingDown
 	}
+	// Open the queue-wait span and announce the queued state before the
+	// queue send: a worker may claim the job the instant it lands in the
+	// channel, and the send's happens-before edge makes j.qspan safe to
+	// read lock-free in runJob.
+	j.qspan = j.rec.Span("serve.queue_wait")
+	j.hub.publishState(StateQueued)
 	select {
 	case m.queue <- j:
 	default:
 		m.drain.Exit()
 		cancel()
+		j.qspan.End()
 		m.rec.Count("serve.rejected.queue_full", 1)
 		return nil, ErrQueueFull
 	}
@@ -229,9 +250,14 @@ func (m *manager) cancelJob(id string) error {
 	if !j.claimed && j.state == StateQueued {
 		j.state = StateCanceled
 		j.finished = time.Now()
+		created, finished := j.created, j.finished
 		close(j.done)
 		j.mu.Unlock()
 		m.finishCounters(StateCanceled)
+		j.qspan.End()
+		m.rec.Observe("serve.job.wall_us", finished.Sub(created).Microseconds())
+		j.hub.publishState(StateCanceled)
+		j.hub.close()
 		m.drain.Exit()
 		return nil
 	}
@@ -260,15 +286,21 @@ func (m *manager) runJob(j *job) {
 		return
 	}
 	j.claimed = true
+	j.claimedAt = time.Now()
 	j.mu.Unlock()
+	j.qspan.End()
 
 	// Memory-budget admission: block until the job's declared analysis
 	// footprint fits under the server-wide budget. Cancellation during the
 	// wait releases this worker back to the pool immediately.
+	aspan := j.rec.Span("serve.admission_wait")
 	if err := m.mem.acquire(j.ctx, j.memNeed); err != nil {
+		aspan.End()
 		m.finish(j, StateCanceled, nil, "canceled while waiting for memory admission")
 		return
 	}
+	aspan.End()
+	m.rec.Count("serve.admitted.bytes", j.memNeed)
 	defer m.mem.release(j.memNeed)
 
 	if j.ctx.Err() != nil {
@@ -280,6 +312,7 @@ func (m *manager) runJob(j *job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.mu.Unlock()
+	j.hub.publishState(StateRunning)
 	m.mu.Lock()
 	m.running++
 	m.mu.Unlock()
@@ -289,7 +322,9 @@ func (m *manager) runJob(j *job) {
 		m.mu.Unlock()
 	}()
 
+	rspan := j.rec.Span("serve.run")
 	res, err := runSafe(j.run)
+	rspan.End()
 	if err != nil {
 		m.finish(j, StateFailed, nil, err.Error())
 		return
@@ -299,16 +334,30 @@ func (m *manager) runJob(j *job) {
 	m.finish(j, StateDone, res, "")
 }
 
-// finish moves a claimed job to its terminal state.
+// finish moves a claimed job to its terminal state, closing its event
+// stream and recording its stage waits into the service-level latency
+// histograms (microsecond units, exported on /metrics).
 func (m *manager) finish(j *job, state string, res *jobResult, errMsg string) {
 	j.mu.Lock()
 	j.state = state
 	j.result = res
 	j.errMsg = errMsg
 	j.finished = time.Now()
+	created, claimed, started, finished := j.created, j.claimedAt, j.started, j.finished
 	close(j.done)
 	j.mu.Unlock()
 	m.finishCounters(state)
+
+	m.rec.Observe("serve.job.wall_us", finished.Sub(created).Microseconds())
+	if !claimed.IsZero() {
+		m.rec.Observe("serve.job.queue_wait_us", claimed.Sub(created).Microseconds())
+	}
+	if !started.IsZero() {
+		m.rec.Observe("serve.job.admission_wait_us", started.Sub(claimed).Microseconds())
+		m.rec.Observe("serve.job.run_us", finished.Sub(started).Microseconds())
+	}
+	j.hub.publishState(state)
+	j.hub.close()
 	m.drain.Exit()
 }
 
@@ -328,6 +377,7 @@ func runSafe(run func() (*jobResult, error)) (res *jobResult, err error) {
 // the workers exit. The context bounds the wait; on expiry remaining jobs
 // are canceled.
 func (m *manager) shutdown(ctx context.Context) {
+	m.draining.Store(true)
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"dcatch/internal/bench"
 	"dcatch/internal/core"
@@ -58,6 +59,17 @@ type Config struct {
 	// CacheEntries bounds the content-addressed report cache (default 256;
 	// negative disables caching).
 	CacheEntries int
+	// EventBuffer bounds each job's event ring: late subscribers to
+	// GET /v1/jobs/{id}/events replay at most this many events, and a slow
+	// consumer starts dropping once roughly this far behind (default 512).
+	EventBuffer int
+	// EventHeartbeat is the idle keep-alive interval on event streams
+	// (default 5s).
+	EventHeartbeat time.Duration
+	// NoJobTelemetry disables per-job recorders: jobs run with a nil
+	// observer, so /v1/jobs/{id}/metrics is empty and /metrics carries only
+	// service-level data. Reports are byte-identical either way.
+	NoJobTelemetry bool
 	// Obs receives service counters and progress logs; nil allocates an
 	// internal recorder (exposed via Recorder).
 	Obs *obs.Recorder
@@ -79,6 +91,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 512
+	}
+	if c.EventHeartbeat <= 0 {
+		c.EventHeartbeat = 5 * time.Second
+	}
 	return c
 }
 
@@ -87,6 +105,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 	rec *obs.Recorder
+	reg *obs.Registry
 	mgr *manager
 	mux *http.ServeMux
 }
@@ -106,7 +125,9 @@ func New(cfg Config) *Server {
 	if rec == nil {
 		rec = obs.New()
 	}
-	s := &Server{cfg: cfg, rec: rec, mgr: newManager(cfg, rec)}
+	s := &Server{cfg: cfg, rec: rec, reg: obs.NewRegistry(), mgr: newManager(cfg, rec)}
+	s.reg.Register(rec)
+	s.registerGauges()
 	s.routes()
 
 	serveExpvarOnce.Do(func() {
@@ -132,6 +153,38 @@ func New(cfg Config) *Server {
 // serve.jobs.submitted, serve.cache.hits, serve.rejected.queue_full).
 func (s *Server) Recorder() *obs.Recorder { return s.rec }
 
+// Registry returns the service's metrics registry: the base recorder plus
+// every accepted job's recorder, exported on GET /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// registerGauges wires the manager's live load-discipline state into the
+// registry as sampled-at-scrape gauges.
+func (s *Server) registerGauges() {
+	m := s.mgr
+	s.reg.Gauge("serve.queue_depth", func() float64 { return float64(len(m.queue)) })
+	s.reg.Gauge("serve.queue_cap", func() float64 { return float64(cap(m.queue)) })
+	s.reg.Gauge("serve.workers", func() float64 { return float64(m.cfg.Workers) })
+	s.reg.Gauge("serve.mem_in_use_bytes", func() float64 { return float64(m.mem.inUse()) })
+	s.reg.Gauge("serve.mem_budget_bytes", func() float64 { return float64(m.cfg.MemBudget) })
+	s.reg.Gauge("serve.cache_entries", func() float64 { return float64(m.cache.len()) })
+	s.reg.Gauge("serve.running", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.running)
+	})
+	s.reg.Gauge("serve.jobs", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(len(m.jobs))
+	})
+	s.reg.Gauge("serve.draining", func() float64 {
+		if m.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+}
+
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
@@ -156,9 +209,14 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.Handle("/debug/", obs.DebugMux())
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	dm := obs.DebugMux(s.reg)
+	mux.Handle("/debug/", dm)
+	mux.Handle("/metrics", dm)
 	s.mux = mux
 }
 
@@ -228,7 +286,8 @@ func (s *Server) submitSubject(body io.Reader) (*job, error) {
 		return nil, err
 	}
 	opts.MaxSteps = b.MaxSteps
-	opts.Obs = s.rec
+	tel := s.newJobTelemetry()
+	opts.Obs = tel.rec
 	seeds := req.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{b.Seed}
@@ -242,7 +301,7 @@ func (s *Server) submitSubject(body io.Reader) (*job, error) {
 		var vals []trigger.Validation
 		if jopt.Validate && !res.OOM {
 			vals = core.ValidateAll(res, core.TriggerOptions{
-				MaxSteps: 200_000, Naive: jopt.Naive, Obs: s.rec,
+				MaxSteps: 200_000, Naive: jopt.Naive, Obs: tel.rec,
 			})
 		}
 		report := RenderSubject(b, res, vals, jopt.Validate)
@@ -250,7 +309,12 @@ func (s *Server) submitSubject(body io.Reader) (*job, error) {
 		return &jobResult{report: []byte(report), summary: res.Summary(), stats: &stats, oom: res.OOM}, nil
 	}
 	key := subjectCacheKey(req.Bench, seeds, req.Options)
-	return s.mgr.submit(KindSubject, req.Bench, key, jopt.MemBudget, run)
+	j, err := s.mgr.submit(KindSubject, req.Bench, key, jopt.MemBudget, tel, run)
+	if err != nil {
+		return nil, err
+	}
+	s.reg.Register(tel.rec)
+	return j, nil
 }
 
 // submitTrace streams a binary trace out of the request body (hashing the
@@ -266,17 +330,23 @@ func (s *Server) submitTrace(body io.Reader, r *http.Request) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts.Obs = s.rec
+	tel := s.newJobTelemetry()
+	opts.Obs = tel.rec
 	h := sha256.New()
+	dspan := tel.rec.Span("serve.decode")
 	tr, err := trace.Decode(io.TeeReader(body, h))
 	if err != nil {
+		dspan.End()
 		return nil, fmt.Errorf("serve: bad trace upload: %w", err)
 	}
 	// Hash any trailing bytes too, so the content address covers the whole
 	// body independently of the decoder's read chunking.
 	if _, err := io.Copy(h, body); err != nil {
+		dspan.End()
 		return nil, fmt.Errorf("serve: reading trace upload: %w", err)
 	}
+	dspan.Attr("records", len(tr.Recs))
+	dspan.End()
 	run := func() (*jobResult, error) {
 		res, err := core.AnalyzeTrace(tr, opts)
 		if err != nil {
@@ -286,7 +356,12 @@ func (s *Server) submitTrace(body io.Reader, r *http.Request) (*job, error) {
 		return &jobResult{report: []byte(RenderTrace(res)), summary: res.Summary(), stats: &stats, oom: res.OOM}, nil
 	}
 	key := traceCacheKey(h.Sum(nil), jopt)
-	return s.mgr.submit(KindTrace, tr.Program, key, jopt.MemBudget, run)
+	j, err := s.mgr.submit(KindTrace, tr.Program, key, jopt.MemBudget, tel, run)
+	if err != nil {
+		return nil, err
+	}
+	s.reg.Register(tel.rec)
+	return j, nil
 }
 
 // traceQueryOptions parses trace-job options from query parameters.
@@ -369,8 +444,31 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+// handleHealthz is pure liveness: it reads one atomic and answers, with no
+// locks shared with the job path, so probes stay cheap and truthful no
+// matter how loaded the service is. Operational detail lives on /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.mgr.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: the full load-discipline snapshot —
+// queue depth and capacity, admission headroom, drain state — answering 503
+// while draining so load balancers stop routing before intake refuses.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	snap := s.mgr.statsSnapshot()
+	if s.cfg.MemBudget > 0 {
+		headroom := s.cfg.MemBudget - s.mgr.mem.inUse()
+		if headroom < 0 {
+			headroom = 0
+		}
+		snap["admission_headroom_bytes"] = headroom
+	} else {
+		snap["admission_headroom_bytes"] = int64(-1) // unlimited
+	}
 	if closing, _ := snap["closing"].(bool); closing {
 		snap["status"] = "draining"
 		writeJSON(w, http.StatusServiceUnavailable, snap)

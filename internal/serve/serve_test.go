@@ -241,12 +241,12 @@ func TestQueueFull429(t *testing.T) {
 		}
 	}
 
-	j1, err := s.mgr.submit(KindSubject, "fake", "key-1", 0, mkRun("one", started))
+	j1, err := s.mgr.submit(KindSubject, "fake", "key-1", 0, jobTelemetry{}, mkRun("one", started))
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-started // the worker owns job 1 now
-	j2, err := s.mgr.submit(KindSubject, "fake", "key-2", 0, mkRun("two", nil))
+	j2, err := s.mgr.submit(KindSubject, "fake", "key-2", 0, jobTelemetry{}, mkRun("two", nil))
 	if err != nil {
 		t.Fatal(err) // queue has exactly one free slot
 	}
@@ -285,7 +285,7 @@ func TestCancelReleasesAdmission(t *testing.T) {
 	block := make(chan struct{})
 	started := make(chan struct{})
 
-	j1, err := s.mgr.submit(KindSubject, "fake", "adm-1", 80, func() (*jobResult, error) {
+	j1, err := s.mgr.submit(KindSubject, "fake", "adm-1", 80, jobTelemetry{}, func() (*jobResult, error) {
 		close(started)
 		<-block
 		return &jobResult{report: []byte("one"), summary: "one"}, nil
@@ -295,7 +295,7 @@ func TestCancelReleasesAdmission(t *testing.T) {
 	}
 	<-started
 
-	j2, err := s.mgr.submit(KindSubject, "fake", "adm-2", 80, func() (*jobResult, error) {
+	j2, err := s.mgr.submit(KindSubject, "fake", "adm-2", 80, jobTelemetry{}, func() (*jobResult, error) {
 		return &jobResult{report: []byte("two"), summary: "two"}, nil
 	})
 	if err != nil {
@@ -337,7 +337,7 @@ func TestCancelReleasesAdmission(t *testing.T) {
 
 	// The freed worker slot runs a small job to completion even though job 1
 	// still holds 80 of 100 bytes.
-	j3, err := s.mgr.submit(KindSubject, "fake", "adm-3", 10, func() (*jobResult, error) {
+	j3, err := s.mgr.submit(KindSubject, "fake", "adm-3", 10, jobTelemetry{}, func() (*jobResult, error) {
 		return &jobResult{report: []byte("three"), summary: "three"}, nil
 	})
 	if err != nil {
@@ -431,7 +431,7 @@ func TestConcurrentClients(t *testing.T) {
 func TestShutdownDrains(t *testing.T) {
 	s, c := newTestServer(t, Config{Workers: 1})
 	started := make(chan struct{})
-	j, err := s.mgr.submit(KindSubject, "fake", "drain-1", 0, func() (*jobResult, error) {
+	j, err := s.mgr.submit(KindSubject, "fake", "drain-1", 0, jobTelemetry{}, func() (*jobResult, error) {
 		close(started)
 		time.Sleep(50 * time.Millisecond)
 		return &jobResult{report: []byte("drained"), summary: "drained"}, nil
@@ -532,7 +532,7 @@ func TestBadInputs(t *testing.T) {
 	// A queued-but-unfinished job's report is 409.
 	block := make(chan struct{})
 	defer close(block)
-	j, err := s.mgr.submit(KindSubject, "fake", "unfinished", 0, func() (*jobResult, error) {
+	j, err := s.mgr.submit(KindSubject, "fake", "unfinished", 0, jobTelemetry{}, func() (*jobResult, error) {
 		<-block
 		return &jobResult{report: []byte("x"), summary: "x"}, nil
 	})

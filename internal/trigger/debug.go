@@ -50,7 +50,7 @@ func StartDebug(addr string) (string, error) {
 		return "", fmt.Errorf("trigger: debug listen: %w", err)
 	}
 	go func() {
-		_ = http.Serve(ln, obs.DebugMux())
+		_ = http.Serve(ln, obs.DebugMux(nil))
 	}()
 	return ln.Addr().String(), nil
 }
