@@ -12,8 +12,11 @@
 //	                                   # backends: exit 1 if reports diverge, the interval
 //	                                   # scan shows no HB-query win, the epoch sweep issues
 //	                                   # any HB query, or epoch is slower than interval
+//	dcatch-bench -stream-records 50000 # streaming smoke: time-to-first-candidate and peak
+//	                                   # live memory vs batch; exit 1 if a streaming report
+//	                                   # diverges from its batch oracle
 //	dcatch-bench -bench-json -records 100000,300000,1000000 -detect-records 10000,50000,100000
-//	                                   # pipeline + both sweeps in one file
+//	                                   # pipeline + sweeps in one file
 //	dcatch-bench -serve-load           # closed-loop load run against an in-process
 //	                                   # dcatch-serve, write BENCH_serve.json
 //	dcatch-bench -serve-load -serve-url http://host:8080
@@ -48,6 +51,7 @@ func main() {
 		sweep     = flag.String("records", "", "comma-separated trace sizes for the backend memory-scaling sweep (dense vs chain at parallelism 1 and 8); exits 1 if any report diverges")
 		budget    = flag.Int64("bench-budget", 2<<30, "with -records: analysis memory budget in bytes")
 		detSweep  = flag.String("detect-records", "", "comma-separated trace sizes for the detect scan-mode sweep (quadratic vs interval vs epoch, both backends); exits 1 on report divergence, a missing interval query win, a querying epoch sweep, or epoch losing to interval on wall time")
+		strSweep  = flag.String("stream-records", "", "comma-separated trace sizes for the streaming sweep (time-to-first-candidate and peak live memory, streaming vs batch); exits 1 if a streaming report diverges from its batch oracle")
 		version   = flag.Bool("version", false, "print the tool version and exit")
 
 		serveLoad    = flag.Bool("serve-load", false, "run the closed-loop service load benchmark and write its JSON result")
@@ -72,8 +76,8 @@ func main() {
 		}
 		return
 	}
-	if *benchJSON || *sweep != "" || *detSweep != "" {
-		file := &bench.BenchFile{SchemaVersion: 4}
+	if *benchJSON || *sweep != "" || *detSweep != "" || *strSweep != "" {
+		file := &bench.BenchFile{SchemaVersion: 5}
 		var pipeErr error
 		if *benchJSON {
 			p := *parallel
@@ -140,6 +144,22 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		var strErr error
+		if *strSweep != "" {
+			sizes, err := parseSizes(*strSweep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			logf := func(format string, args ...any) {
+				fmt.Printf("stream: "+format+"\n", args...)
+			}
+			file.Stream, strErr = bench.RunStreamSweep(sizes, 42, logf)
+			if file.Stream == nil {
+				fmt.Fprintln(os.Stderr, strErr)
+				os.Exit(1)
+			}
+		}
 		if *benchJSON {
 			buf, err := file.JSON()
 			if err != nil {
@@ -166,6 +186,10 @@ func main() {
 		}
 		if detErr != nil {
 			fmt.Fprintf(os.Stderr, "ERROR: %v\n", detErr)
+			os.Exit(1)
+		}
+		if strErr != nil {
+			fmt.Fprintf(os.Stderr, "ERROR: %v\n", strErr)
 			os.Exit(1)
 		}
 		return

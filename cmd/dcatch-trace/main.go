@@ -1,24 +1,29 @@
 // Command dcatch-trace inspects a binary DCatch trace (written by
 // dcatch -trace-out): prints the Table 7 record breakdown, optionally
-// dumps records, or runs HB trace analysis directly on the file.
+// dumps records, runs HB trace analysis directly on the file, or follows a
+// trace that is still being written and analyzes it incrementally.
 //
 // Usage:
 //
 //	dcatch-trace -stats t.bin
 //	dcatch-trace -dump -n 50 t.bin
 //	dcatch-trace -analyze [-parallel N] [-reach chain] t.bin
+//	dcatch-trace -follow [-poll 50ms] growing.bin
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"dcatch/internal/core"
 	"dcatch/internal/detect"
 	"dcatch/internal/hb"
 	"dcatch/internal/obs"
 	"dcatch/internal/serve"
+	"dcatch/internal/stream"
 	"dcatch/internal/trace"
 )
 
@@ -27,9 +32,12 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the whole trace as JSON")
 	n := flag.Int("n", 0, "limit dumped records (0 = all)")
 	analyze := flag.Bool("analyze", false, "run HB trace analysis on the file and print the report")
-	parallel := flag.Int("parallel", 0, "with -analyze: analysis workers (0 = all CPUs)")
-	reach := flag.String("reach", "dense", "with -analyze: reachability backend (dense, chain, auto)")
-	scan := flag.String("scan", "auto", "with -analyze: detection scan (auto, epoch, interval, quadratic)")
+	follow := flag.Bool("follow", false, "tail a growing trace file, analyzing incrementally; provisional candidates go to stderr, the final -analyze-identical report to stdout")
+	poll := flag.Duration("poll", 50*time.Millisecond, "with -follow: poll interval while waiting for the file to grow")
+	idleTimeout := flag.Duration("idle-timeout", 30*time.Second, "with -follow: give up if the file stops growing for this long before the declared record count (0 = wait forever)")
+	parallel := flag.Int("parallel", 0, "with -analyze/-follow: analysis workers (0 = all CPUs)")
+	reach := flag.String("reach", "dense", "with -analyze/-follow: reachability backend (dense, chain, auto)")
+	scan := flag.String("scan", "auto", "with -analyze/-follow: detection scan (auto, epoch, interval, quadratic)")
 	version := flag.Bool("version", false, "print the tool version and exit")
 	flag.Parse()
 	if *version {
@@ -37,21 +45,10 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dcatch-trace [-dump] [-n N] [-analyze] <trace-file>")
+		fmt.Fprintln(os.Stderr, "usage: dcatch-trace [-dump] [-n N] [-analyze] [-follow] <trace-file>")
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	tr, err := trace.Decode(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if *analyze {
+	analysisOptions := func() core.Options {
 		var opts core.Options
 		opts.HB.Parallelism = *parallel
 		opts.Detect.Parallelism = *parallel
@@ -67,6 +64,24 @@ func main() {
 			os.Exit(2)
 		}
 		opts.Detect.Scan = scanMode
+		return opts
+	}
+	if *follow {
+		os.Exit(runFollow(flag.Arg(0), analysisOptions(), *poll, *idleTimeout))
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *analyze {
+		opts := analysisOptions()
 		res, err := core.AnalyzeTrace(tr, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -107,4 +122,105 @@ func main() {
 			fmt.Printf("  %s\n", &tr.Recs[i])
 		}
 	}
+}
+
+// runFollow tails a trace file that is still being written: bytes are fed to
+// the incremental decoder as the file grows, each completed record runs
+// through the streaming engine's online provisional pass (candidates print
+// to stderr the moment they appear, long before EOF), and once the declared
+// record count has been decoded the authoritative batch finish prints a
+// report byte-identical to `dcatch-trace -analyze` on the finished file.
+func runFollow(path string, opts core.Options, poll, idle time.Duration) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer f.Close()
+
+	var readBytes int64
+	candidates, retractions := 0, 0
+	an := stream.New(stream.Options{
+		HB: opts.HB, Detect: opts.Detect,
+		Provisional: true,
+		OnEvent: func(ev stream.Event) {
+			switch ev.Kind {
+			case stream.EventCandidate:
+				candidates++
+				fmt.Fprintf(os.Stderr, "follow: provisional candidate at record %d (%d bytes): %s S%d/S%d\n",
+					ev.Records, readBytes, ev.Pair.Obj, ev.Pair.AStatic, ev.Pair.BStatic)
+			case stream.EventRetract:
+				retractions++
+				fmt.Fprintf(os.Stderr, "follow: retracted: %s S%d/S%d\n",
+					ev.Pair.Obj, ev.Pair.AStatic, ev.Pair.BStatic)
+			}
+		},
+	})
+
+	dec := trace.NewStreamDecoder()
+	buf := make([]byte, 256<<10)
+	metaSet := false
+	lastGrowth := time.Now()
+	for !dec.Done() {
+		n, rerr := f.Read(buf)
+		if n > 0 {
+			readBytes += int64(n)
+			nrec, derr := dec.Feed(buf[:n])
+			if derr != nil {
+				fmt.Fprintln(os.Stderr, derr)
+				return 1
+			}
+			if !metaSet && dec.HeaderDone() {
+				t := dec.Trace()
+				an.SetMeta(t.Program, t.QueueConsumers)
+				metaSet = true
+				if want, ok := dec.Expected(); ok {
+					fmt.Fprintf(os.Stderr, "follow: %s: %d records declared\n", t.Program, want)
+				}
+			}
+			if nrec > 0 {
+				// Ingest without a second copy: the decoder owns the records
+				// and the analyzer adopts its trace once the stream ends.
+				recs := dec.Trace().Recs
+				an.IngestBatch(recs[an.Records():])
+			}
+			lastGrowth = time.Now()
+			continue
+		}
+		if rerr != nil && rerr != io.EOF {
+			fmt.Fprintln(os.Stderr, rerr)
+			return 1
+		}
+		// At EOF but before the declared record count: the writer is still
+		// going — wait for growth.
+		if idle > 0 && time.Since(lastGrowth) > idle {
+			want, _ := dec.Expected()
+			fmt.Fprintf(os.Stderr, "follow: no growth for %v (%d of %d records); giving up\n",
+				idle, dec.Records(), want)
+			return 1
+		}
+		time.Sleep(poll)
+	}
+
+	tr, err := dec.Finish()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	an.AppendTrace(tr) // hand over the decoder's records, no copy
+	fmt.Fprintf(os.Stderr, "follow: trace complete: %d records, %d provisional candidates\n",
+		len(tr.Recs), candidates)
+	res, err := core.AnalyzeStreamed(an, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if retractions > 0 {
+		fmt.Fprintf(os.Stderr, "follow: %d provisional candidates retracted by the final analysis\n", retractions)
+	}
+	fmt.Print(serve.RenderTrace(res))
+	if res.OOM {
+		return 1
+	}
+	return 0
 }

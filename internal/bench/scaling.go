@@ -160,16 +160,19 @@ func RunScalingSweep(sizes []int, budget, seed int64, logf func(format string, a
 	return sweep, nil
 }
 
-// BenchFile is the BENCH_pipeline.json schema (version 4): the
+// BenchFile is the BENCH_pipeline.json schema (version 5): the
 // chunked-pipeline measurement (per-backend leg matrices across all three
 // scan modes with per-leg wall/alloc/query counts), the backend
-// memory-scaling sweep (now flagging parallel runs that lose to their
-// sequential twin), and the per-backend detect-stage scan-mode sweep.
+// memory-scaling sweep (flagging parallel runs that lose to their
+// sequential twin), the per-backend detect-stage scan-mode sweep, and the
+// streaming sweep (time-to-first-candidate and peak live memory against the
+// batch path).
 type BenchFile struct {
 	SchemaVersion int                  `json:"schema_version"`
 	Pipeline      *PipelineBenchResult `json:"pipeline,omitempty"`
 	Scaling       *ScalingSweep        `json:"scaling,omitempty"`
 	DetectScaling *DetectSweep         `json:"detect_scaling,omitempty"`
+	Stream        *StreamSweep         `json:"stream,omitempty"`
 }
 
 // JSON renders the bench file.

@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+// TestStreamSweepSmoke runs the streaming sweep at a small size and asserts
+// its two divergence gates and the memory claim hold.
+func TestStreamSweepSmoke(t *testing.T) {
+	sweep, err := RunStreamSweep([]int{20000}, 1, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(sweep.Points))
+	}
+	p := sweep.Points[0]
+	if !p.Streaming.Identical || !p.Eager.Identical {
+		t.Errorf("reports diverged: streaming=%v eager=%v", p.Streaming.Identical, p.Eager.Identical)
+	}
+	if p.Streaming.Provisional == 0 || p.Streaming.FirstCandidateRecord == 0 {
+		t.Errorf("no provisional candidates: %+v", p.Streaming)
+	}
+	if p.Streaming.FirstCandidateRecord >= p.Records {
+		t.Errorf("first candidate at record %d, want before the stream ends (%d records)",
+			p.Streaming.FirstCandidateRecord, p.Records)
+	}
+	if p.Eager.PeakLiveBytes >= p.BatchFootprintBytes {
+		t.Errorf("eager peak live %d not below batch footprint %d",
+			p.Eager.PeakLiveBytes, p.BatchFootprintBytes)
+	}
+}

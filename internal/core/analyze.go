@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"dcatch/internal/detect"
-	"dcatch/internal/hb"
+	"dcatch/internal/stream"
 	"dcatch/internal/trace"
 )
 
@@ -26,6 +25,31 @@ func AnalyzeTrace(tr *trace.Trace, opts Options) (*Result, error) {
 	if tr == nil {
 		return nil, fmt.Errorf("core: AnalyzeTrace: nil trace")
 	}
+	// The whole stage runs on the streaming engine's batch mode: the full
+	// build, and — when the closure exceeds the budget — the windowed replay
+	// that supersedes the old BuildChunked+FindChunked fallback with the
+	// same bytes at a bounded transient footprint.
+	an := stream.New(stream.Options{
+		HB: opts.HB, Detect: opts.Detect, ChunkSize: opts.ChunkSize,
+		Logf: opts.Obs.Logf,
+	})
+	an.AppendTrace(tr)
+	return AnalyzeStreamed(an, opts)
+}
+
+// AnalyzeStreamed completes a trace analysis whose records were already fed
+// into a streaming analyzer — dcatch-serve ingests uploads record by record
+// as the body arrives, then hands the analyzer here from the job's run
+// closure. The analyzer must be non-eager and must already hold the complete
+// trace (an Ingest loop finishes with AppendTrace); the Result is
+// byte-identical to AnalyzeTrace over the same records, because AnalyzeTrace
+// is this function behind a one-shot ingest.
+func AnalyzeStreamed(an *stream.Analyzer, opts Options) (*Result, error) {
+	tr := an.Trace()
+	if len(tr.Recs) != an.Records() {
+		return nil, fmt.Errorf("core: AnalyzeStreamed: analyzer holds %d of %d records (eager mode, or Ingest without AppendTrace)",
+			len(tr.Recs), an.Records())
+	}
 	res := &Result{Trace: tr, seed: opts.Seed}
 	rec := opts.Obs
 	res.Stats.TraceRecords = len(tr.Recs)
@@ -34,51 +58,32 @@ func AnalyzeTrace(tr *trace.Trace, opts Options) (*Result, error) {
 
 	sp := rec.Span("core.trace_analysis")
 	t0 := time.Now()
-	cfg := opts.HB
-	cfg.LoopReads = nil
-	cfg.Obs = sp
-	dopt := opts.Detect
-	dopt.Obs = sp
-	g, err := hb.Build(tr, cfg)
-	if err != nil {
-		if opts.ChunkSize <= 0 {
-			res.OOM = true
-			res.Stats.AnalysisTime = time.Since(t0)
-			sp.Attr("oom", true)
-			sp.End()
-			rec.Logf("trace analysis: OUT OF MEMORY (%v)", err)
-			return res, nil
-		}
-		rec.Logf("trace analysis: budget exceeded, falling back to %d-record windows", opts.ChunkSize)
-		chunks, cerr := hb.BuildChunked(tr, hb.ChunkConfig{Base: cfg, ChunkSize: opts.ChunkSize})
-		if cerr != nil {
-			res.OOM = true
-			res.Stats.AnalysisTime = time.Since(t0)
-			sp.Attr("oom", true)
-			sp.End()
-			rec.Logf("chunked analysis: OUT OF MEMORY (%v)", cerr)
-			return res, nil
-		}
-		res.Chunked = true
-		res.TA = detect.FindChunked(chunks, dopt)
-		res.Stats.AnalysisTime = time.Since(t0)
-		res.Stats.HBVertices = len(tr.Recs)
-		res.Stats.HBMemBytes = hb.ChunkedMemBytes(chunks)
-		if len(chunks) > 0 {
-			res.Stats.ReachBackend = chunks[0].Graph.Backend().String()
-		}
-		sp.Attr("chunked", true)
+	an.SetSpans(sp)
+	sr := an.Finish()
+	res.Stats.AnalysisTime = time.Since(t0)
+	if sr.OOM {
+		res.OOM = true
+		sp.Attr("oom", true)
 		sp.End()
-	} else {
-		res.TA = detect.Find(g, dopt)
-		res.Stats.AnalysisTime = time.Since(t0)
-		res.Stats.HBVertices = g.N()
-		res.Stats.HBEdges = g.Edges()
-		res.Stats.HBMemBytes = g.MemBytes()
-		res.Stats.ReachBackend = g.Backend().String()
-		res.Graph = g
-		sp.End()
+		if sr.Chunked {
+			rec.Logf("chunked analysis: OUT OF MEMORY (%v)", sr.Err)
+		} else {
+			rec.Logf("trace analysis: OUT OF MEMORY (%v)", sr.Err)
+		}
+		return res, nil
 	}
+	res.TA = sr.Report
+	res.Stats.HBVertices = sr.HBVertices
+	res.Stats.HBEdges = sr.HBEdges
+	res.Stats.HBMemBytes = sr.HBMemBytes
+	res.Stats.ReachBackend = sr.Backend
+	if sr.Chunked {
+		res.Chunked = true
+		sp.Attr("chunked", true)
+	} else {
+		res.Graph = sr.Graph
+	}
+	sp.End()
 
 	res.SP = res.TA
 	res.Final = res.TA

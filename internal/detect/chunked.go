@@ -56,55 +56,13 @@ func FindChunked(chunks []hb.Chunk, opts Options) *Report {
 		}
 	}
 
-	// Each window interned its stacks independently, so its packed-ID keys
-	// are not comparable across windows. Remapping every window ID onto a
-	// shared intern table costs one string lookup per distinct stack per
-	// window — after which the cross-window merge stays on packed integer
-	// keys instead of hashing the callstack strings of every candidate.
-	global := map[string]int32{}
-	remaps := make([][]int32, len(chunks))
-	for ci, tab := range tabs {
-		remap := make([]int32, len(tab.strs))
-		for id, s := range tab.strs {
-			gid, ok := global[s]
-			if !ok {
-				gid = int32(len(global))
-				global[s] = gid
-			}
-			remap[id] = gid
-		}
-		remaps[ci] = remap
-	}
-
 	// The per-window scans are done, so the merge owns every entry and can
-	// adopt pointers from the window maps instead of copying pairs.
-	size := 0
-	for _, m := range maps {
-		size += len(m)
-	}
-	merged := make(map[uint64]*foundPair, size)
+	// adopt pointers from the window maps instead of copying pairs. The
+	// window-order merge itself lives in ChunkMerger (merge.go), shared with
+	// the streaming analyzer's flush-boundary windows.
+	m := newChunkMergerOn(opts, sp)
 	for ci := range chunks {
-		start := chunks[ci].Start
-		remap := remaps[ci]
-		for k, fp := range maps[ci] {
-			gk := packStackIDs(remap[k>>32], remap[k&0xffffffff])
-			if ex, ok := merged[gk]; ok {
-				ex.pair.Dynamic += fp.pair.Dynamic
-				continue
-			}
-			// Rebase representative record indices onto the full trace;
-			// rep feeds the merged report's sort order and must be global
-			// too. Both packed halves shift by start, and the low half
-			// cannot carry into the high one (trace indices fit in 32
-			// bits), so one addition rebases both.
-			fp.pair.ARec += start
-			fp.pair.BRec += start
-			fp.rep += int64(start)<<32 + int64(start)
-			merged[gk] = fp
-		}
+		m.merge(maps[ci], tabs[ci], chunks[ci].Start)
 	}
-	out := reportFromMap(merged, sp)
-	sp.Attr("merged_candidates", len(out.Pairs))
-	sp.Count("detect.merged_candidates", int64(len(out.Pairs)))
-	return out
+	return m.Report()
 }

@@ -281,17 +281,23 @@ func (g *Graph) dedupEdges() {
 // ctxKey computes the program-order context of a record, honouring the
 // rule-ablation switches: with a family disabled, its handler instances
 // collapse into whole-thread order (the Rule-Preg fallback of §7.4).
-func (g *Graph) ctxKey(r *trace.Rec) int64 {
+func (g *Graph) ctxKey(r *trace.Rec) int64 { return g.cfg.CtxKey(r) }
+
+// CtxKey computes the program-order context key of r under the config's
+// ablation switches — the chain identity addProgramOrder and the chain
+// decomposition use. Exported for the streaming analyzer, whose online
+// chain assignment must agree with the graph it later builds.
+func (cfg Config) CtxKey(r *trace.Rec) int64 {
 	degrade := false
 	switch r.CtxKind {
 	case trace.CtxEvent:
-		degrade = g.cfg.DisableEvent
+		degrade = cfg.DisableEvent
 	case trace.CtxRPC:
-		degrade = g.cfg.DisableRPC
+		degrade = cfg.DisableRPC
 	case trace.CtxMsg:
-		degrade = g.cfg.DisableSocket
+		degrade = cfg.DisableSocket
 	case trace.CtxWatch:
-		degrade = g.cfg.DisablePush
+		degrade = cfg.DisablePush
 	}
 	if degrade {
 		return int64(r.Thread)<<32 | 0xffffffff
@@ -301,16 +307,22 @@ func (g *Graph) ctxKey(r *trace.Rec) int64 {
 
 // dropped reports whether a record's HB role is ignored under the ablation
 // config (the record still exists as a vertex and keeps program order).
-func (g *Graph) dropped(r *trace.Rec) bool {
+func (g *Graph) dropped(r *trace.Rec) bool { return g.cfg.Dropped(r) }
+
+// Dropped reports whether r's HB role is ignored under the config's
+// ablation switches (the record still exists as a vertex and keeps program
+// order). Exported alongside CtxKey for the streaming analyzer's online
+// edge derivation.
+func (cfg Config) Dropped(r *trace.Rec) bool {
 	switch r.Kind {
 	case trace.KEventCreate, trace.KEventBegin, trace.KEventEnd:
-		return g.cfg.DisableEvent
+		return cfg.DisableEvent
 	case trace.KRPCCreate, trace.KRPCBegin, trace.KRPCEnd, trace.KRPCJoin:
-		return g.cfg.DisableRPC
+		return cfg.DisableRPC
 	case trace.KSockSend, trace.KSockRecv:
-		return g.cfg.DisableSocket
+		return cfg.DisableSocket
 	case trace.KZKUpdate, trace.KZKPushed:
-		return g.cfg.DisablePush
+		return cfg.DisablePush
 	}
 	return false
 }

@@ -31,11 +31,13 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dcatch/internal/bench"
 	"dcatch/internal/core"
 	"dcatch/internal/obs"
+	"dcatch/internal/stream"
 	"dcatch/internal/subjects"
 	"dcatch/internal/trace"
 	"dcatch/internal/trigger"
@@ -108,6 +110,10 @@ type Server struct {
 	reg *obs.Registry
 	mgr *manager
 	mux *http.ServeMux
+
+	// streamFrontier sums the online sweep frontiers of trace uploads
+	// currently being ingested — the stream.frontier_bytes gauge.
+	streamFrontier atomic.Int64
 }
 
 // Servers registered for the shared "dcatch_serve" expvar (expvar.Publish
@@ -182,6 +188,9 @@ func (s *Server) registerGauges() {
 			return 1
 		}
 		return 0
+	})
+	s.reg.Gauge("stream.frontier_bytes", func() float64 {
+		return float64(s.streamFrontier.Load())
 	})
 }
 
@@ -317,10 +326,26 @@ func (s *Server) submitSubject(body io.Reader) (*job, error) {
 	return j, nil
 }
 
-// submitTrace streams a binary trace out of the request body (hashing the
-// bytes as they pass — the upload is never buffered whole) and enqueues a
-// TA-only analysis. Options ride in query parameters: parallel, reach,
-// scan, mem_budget, chunk_size, max_group.
+// uploadSegmentBytes is how much of the request body one ingest step reads;
+// each read becomes one streaming-analysis segment.
+const uploadSegmentBytes = 256 << 10
+
+// maxSegmentSpans caps per-segment spans in the job timeline so a large
+// upload (hundreds of segments) cannot swamp the span tree; segments past
+// the cap still count into serve.upload_segments.
+const maxSegmentSpans = 64
+
+// submitTrace ingests a binary trace straight off the request body: analysis
+// starts at the first segment instead of after the upload completes. Each
+// read is hashed (the content address covers the whole body, trailing bytes
+// included), fed to the incremental decoder, and newly completed records run
+// through the streaming engine's online provisional pass — so when the body
+// ends, the per-record work is already done and provisional candidates are
+// on the job's event stream. The authoritative finish runs in the job's run
+// closure under the usual queue/admission discipline and stays
+// byte-identical to the batch path (core.AnalyzeStreamed). Options ride in
+// query parameters: parallel, reach, scan, mem_budget, chunk_size,
+// max_group.
 func (s *Server) submitTrace(body io.Reader, r *http.Request) (*job, error) {
 	jopt, err := traceQueryOptions(r)
 	if err != nil {
@@ -332,23 +357,95 @@ func (s *Server) submitTrace(body io.Reader, r *http.Request) (*job, error) {
 	}
 	tel := s.newJobTelemetry()
 	opts.Obs = tel.rec
+
+	var firstCand bool
+	var readBytes int64
+	an := stream.New(stream.Options{
+		HB: opts.HB, Detect: opts.Detect, ChunkSize: opts.ChunkSize,
+		Provisional: true,
+		OnEvent: func(ev stream.Event) {
+			switch ev.Kind {
+			case stream.EventCandidate:
+				tel.rec.Count("stream.provisional_candidates", 1)
+				if !firstCand {
+					firstCand = true
+					tel.rec.Logf("stream: first provisional candidate at record %d (%d body bytes in)",
+						ev.Records, readBytes)
+				}
+			case stream.EventRetract:
+				tel.rec.Count("stream.retractions", 1)
+			}
+		},
+		Obs:  tel.rec,
+		Logf: tel.rec.Logf,
+	})
+
+	// The live frontier gauge tracks ingests in flight; whatever this upload
+	// contributed is withdrawn when the handler returns (the frontier is
+	// frozen from then until the job's finish consumes it).
+	var lastFrontier int64
+	defer func() { s.streamFrontier.Add(-lastFrontier) }()
+
 	h := sha256.New()
+	dec := trace.NewStreamDecoder()
 	dspan := tel.rec.Span("serve.decode")
-	tr, err := trace.Decode(io.TeeReader(body, h))
+	buf := make([]byte, uploadSegmentBytes)
+	seg := 0
+	metaSet := false
+	for {
+		n, rerr := body.Read(buf)
+		if n > 0 {
+			var ssp *obs.Span
+			if seg < maxSegmentSpans {
+				ssp = tel.rec.Span("serve.segment")
+			}
+			h.Write(buf[:n])
+			readBytes += int64(n)
+			nrec, derr := dec.Feed(buf[:n])
+			if derr != nil {
+				ssp.End()
+				dspan.End()
+				return nil, fmt.Errorf("serve: bad trace upload: %w", derr)
+			}
+			if !metaSet && dec.HeaderDone() {
+				t := dec.Trace()
+				an.SetMeta(t.Program, t.QueueConsumers)
+				metaSet = true
+			}
+			if nrec > 0 {
+				// Ingest without buffering: the decoder owns the records; the
+				// analyzer adopts its trace wholesale once the body ends.
+				recs := dec.Trace().Recs
+				an.IngestBatch(recs[an.Records():])
+			}
+			ssp.Attr("bytes", n)
+			ssp.Attr("records", an.Records())
+			ssp.End()
+			seg++
+			tel.rec.Count("serve.upload_segments", 1)
+			cur := an.FrontierBytes()
+			s.streamFrontier.Add(cur - lastFrontier)
+			lastFrontier = cur
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			dspan.End()
+			return nil, fmt.Errorf("serve: reading trace upload: %w", rerr)
+		}
+	}
+	tr, err := dec.Finish()
 	if err != nil {
 		dspan.End()
 		return nil, fmt.Errorf("serve: bad trace upload: %w", err)
 	}
-	// Hash any trailing bytes too, so the content address covers the whole
-	// body independently of the decoder's read chunking.
-	if _, err := io.Copy(h, body); err != nil {
-		dspan.End()
-		return nil, fmt.Errorf("serve: reading trace upload: %w", err)
-	}
+	an.AppendTrace(tr) // adopt the decoder's records, no second copy
 	dspan.Attr("records", len(tr.Recs))
+	dspan.Attr("segments", seg)
 	dspan.End()
 	run := func() (*jobResult, error) {
-		res, err := core.AnalyzeTrace(tr, opts)
+		res, err := core.AnalyzeStreamed(an, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -166,6 +167,89 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 	if string(got) != want {
 		t.Errorf("served trace report differs from local analysis:\n-- served --\n%s\n-- local --\n%s", got, want)
+	}
+}
+
+// fragmentReader yields its data in fixed-size fragments, modelling a slow
+// client whose upload arrives in many small reads.
+type fragmentReader struct {
+	data  []byte
+	chunk int
+}
+
+func (f *fragmentReader) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, io.EOF
+	}
+	n := f.chunk
+	if n > len(f.data) {
+		n = len(f.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, f.data[:n])
+	f.data = f.data[n:]
+	return n, nil
+}
+
+// TestTraceStreamingIngest drives submitTrace with a deliberately fragmented
+// body and asserts analysis starts during the upload — per-segment telemetry
+// and provisional candidates land on the job before the body ends — while
+// the final report stays byte-identical to the batch path.
+func TestTraceStreamingIngest(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	raw, want := localTraceBytes(t, "ZK-1144")
+
+	const chunk = 4 << 10
+	req := httptest.NewRequest("POST", "/v1/jobs", nil)
+	j, err := s.submitTrace(&fragmentReader{data: raw, chunk: chunk}, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := s.WaitTerminal(ctx, j.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job finished %s: %s", st.State, st.Error)
+	}
+	j.mu.Lock()
+	rep := string(j.result.report)
+	j.mu.Unlock()
+	if rep != want {
+		t.Errorf("streamed-ingest report differs from local analysis:\n-- served --\n%s\n-- local --\n%s", rep, want)
+	}
+
+	ctr := j.rec.Counters()
+	wantSegs := int64((len(raw) + chunk - 1) / chunk)
+	if ctr["serve.upload_segments"] != wantSegs {
+		t.Errorf("serve.upload_segments = %d, want %d", ctr["serve.upload_segments"], wantSegs)
+	}
+	if ctr["stream.provisional_candidates"] == 0 {
+		t.Error("no provisional candidates surfaced during ingest")
+	}
+	if ctr["stream.frontier_peak_bytes"] == 0 {
+		t.Error("stream.frontier_peak_bytes not recorded")
+	}
+	var segSpans int
+	for _, sd := range j.rec.Spans(0) {
+		if sd.Name == "serve.segment" {
+			segSpans++
+		}
+	}
+	if segSpans == 0 || segSpans > maxSegmentSpans {
+		t.Errorf("serve.segment spans = %d, want 1..%d", segSpans, maxSegmentSpans)
+	}
+	if _, ok := j.rec.HistogramData()["stream.append_lag_us"]; !ok {
+		t.Error("stream.append_lag_us histogram missing from job telemetry")
+	}
+	// After the handler returned, this upload's frontier contribution must
+	// have been withdrawn from the live gauge.
+	if got := s.streamFrontier.Load(); got != 0 {
+		t.Errorf("stream.frontier_bytes gauge = %d after ingest, want 0", got)
 	}
 }
 

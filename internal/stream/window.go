@@ -1,0 +1,287 @@
+package stream
+
+import (
+	"fmt"
+	"runtime"
+
+	"dcatch/internal/detect"
+	"dcatch/internal/hb"
+	"dcatch/internal/trace"
+)
+
+// Eager windowed analysis: the streaming form of the chunked fallback
+// (hb.BuildChunked + detect.FindChunked). Windows close the moment they
+// fill — or early, at a manual Flush — and are built, scanned and merged on
+// arrival; records behind the next window's start are then released, so live
+// memory stays around one window plus its graph no matter how long the
+// stream runs.
+//
+// Window arithmetic replicates BuildChunked exactly: overlap defaults to
+// ChunkSize/4 and is clamped to ChunkSize-1, a full window [start,
+// start+ChunkSize) is followed by one starting at end-overlap, and the tail
+// window is closed at Finish iff no window has closed yet or the last one
+// ended before the final record count — the streaming restatement of the
+// batch loop's `if end >= n break`. With no manual Flush the closed-window
+// list is therefore the batch list, and since each window is analyzed by the
+// same Build/scan/merge code, Finish is byte-identical to the batch chunked
+// path. Manual Flush inserts a boundary the batch oracle reproduces by
+// chunking over Windows().
+
+type windowed struct {
+	a       *Analyzer
+	size    int
+	overlap int
+
+	start   int // open window's start, full-trace index
+	bufBase int // full-trace index of buf[0]
+	buf     []trace.Rec
+
+	merger *detect.ChunkMerger
+	closed [][2]int
+
+	peakGraph int64
+	backend   string
+	err       error
+}
+
+func newWindowed(a *Analyzer) *windowed {
+	overlap := a.opts.ChunkOverlap
+	if overlap <= 0 {
+		overlap = a.opts.ChunkSize / 4
+	}
+	if overlap >= a.opts.ChunkSize {
+		overlap = a.opts.ChunkSize - 1
+	}
+	return &windowed{
+		a:       a,
+		size:    a.opts.ChunkSize,
+		overlap: overlap,
+		merger:  detect.NewChunkMerger(a.opts.Detect),
+	}
+}
+
+func (w *windowed) append(r trace.Rec) {
+	if w.err != nil {
+		return // analysis already failed; the result is OOM regardless
+	}
+	w.buf = append(w.buf, r)
+	if count := w.bufBase + len(w.buf); count == w.start+w.size {
+		w.close(count, count-w.overlap)
+	}
+}
+
+// flush closes the open window early. The next window still starts overlap
+// records back (clamped to the closed window's own start), preserving the
+// boundary-spanning coverage full windows get.
+func (w *windowed) flush() {
+	count := w.bufBase + len(w.buf)
+	if w.err != nil || count == w.start {
+		return
+	}
+	next := count - w.overlap
+	if next < w.start {
+		next = w.start
+	}
+	w.close(count, next)
+}
+
+// close analyzes the open window [w.start, end), releases records behind
+// next, and opens the next window there.
+func (w *windowed) close(end, next int) {
+	sub := &trace.Trace{
+		Program:        w.a.tr.Program,
+		Recs:           make([]trace.Rec, end-w.start),
+		QueueConsumers: w.a.tr.QueueConsumers,
+	}
+	copy(sub.Recs, w.buf[w.start-w.bufBase:end-w.bufBase])
+	g, err := hb.Build(sub, w.a.opts.HB)
+	if err != nil {
+		w.err = fmt.Errorf("hb: chunk [%d,%d): %w", w.start, end, err)
+		w.buf = nil
+		return
+	}
+	if len(w.closed) == 0 {
+		w.backend = g.Backend().String()
+	}
+	gm := g.MemBytes()
+	if gm > w.peakGraph {
+		w.peakGraph = gm
+	}
+	w.a.notePeak(gm)
+	added := w.merger.Add(g, w.start)
+	w.closed = append(w.closed, [2]int{w.start, end})
+	w.a.emit(Event{Kind: EventWindow, Records: end,
+		WindowStart: w.start, WindowEnd: end, Added: added})
+
+	// Release everything behind the next window's start; the copy-down
+	// keeps the backing array at one window plus overlap.
+	if drop := next - w.bufBase; drop > 0 {
+		n := copy(w.buf, w.buf[drop:])
+		w.buf = w.buf[:n]
+		w.bufBase = next
+	}
+	w.start = next
+}
+
+func (w *windowed) finish() *Result {
+	n := w.a.count
+	if w.err == nil {
+		// Tail guard: the batch loop always emits at least one window, and
+		// emits a tail iff the previous window ended before n.
+		if len(w.closed) == 0 || w.closed[len(w.closed)-1][1] < n {
+			w.close(n, n)
+		}
+	}
+	if w.err != nil {
+		return &Result{OOM: true, Err: w.err, Chunked: true}
+	}
+	return &Result{
+		Report:     w.merger.Report(),
+		Chunked:    true,
+		HBVertices: n,
+		HBMemBytes: w.peakGraph,
+		Backend:    w.backend,
+	}
+}
+
+// batchWindows computes hb.BuildChunked's window list for n records.
+func batchWindows(n, size, overlap int) [][2]int {
+	if overlap <= 0 {
+		overlap = size / 4
+	}
+	if overlap >= size {
+		overlap = size - 1
+	}
+	stride := size - overlap
+	var windows [][2]int
+	for start := 0; ; start += stride {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		windows = append(windows, [2]int{start, end})
+		if end >= n {
+			break
+		}
+	}
+	return windows
+}
+
+// replayWindows is the non-eager fallback: the accumulated trace is replayed
+// through the same window engine the eager mode uses, producing the bytes
+// hb.BuildChunked + detect.FindChunked would. Windows flow through a bounded
+// ordered pipeline — up to HB.Parallelism in flight, each worker building
+// its window's graph and scanning it single-threaded (FindChunked's
+// window-level sharding), the merge folding results in window order — so at
+// most that many window graphs are ever alive at once, which is the same
+// transient peak BuildChunked documents.
+func (a *Analyzer) replayWindows() *Result {
+	cfg := a.opts.HB
+	bsp := cfg.Obs.Child("hb.build_chunked")
+	cfg.Obs = bsp
+	windows := batchWindows(len(a.tr.Recs), a.opts.ChunkSize, a.opts.ChunkOverlap)
+	bsp.Attr("windows", len(windows))
+	bsp.Count("hb.chunk_windows", int64(len(windows)))
+
+	merger := detect.NewChunkMerger(a.opts.Detect)
+	build := func(wn [2]int, base hb.Config) (*hb.Graph, error) {
+		sub := &trace.Trace{
+			Program:        a.tr.Program,
+			Recs:           make([]trace.Rec, wn[1]-wn[0]),
+			QueueConsumers: a.tr.QueueConsumers,
+		}
+		copy(sub.Recs, a.tr.Recs[wn[0]:wn[1]])
+		g, err := hb.Build(sub, base)
+		if err != nil {
+			return nil, fmt.Errorf("hb: chunk [%d,%d): %w", wn[0], wn[1], err)
+		}
+		return g, nil
+	}
+
+	p := cfg.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(windows) {
+		p = len(windows)
+	}
+
+	var ferr error
+	var peak int64
+	var backend string
+	if p <= 1 {
+		for _, wn := range windows {
+			g, err := build(wn, cfg)
+			if err != nil {
+				ferr = err
+				break
+			}
+			if backend == "" {
+				backend = g.Backend().String()
+			}
+			if m := g.MemBytes(); m > peak {
+				peak = m
+			}
+			merger.Add(g, wn[0])
+		}
+	} else {
+		base := cfg
+		base.Parallelism = 1
+		type scanOut struct {
+			ws  detect.WindowScan
+			mem int64
+			be  string
+			err error
+		}
+		scans := make([]chan scanOut, len(windows))
+		for i := range scans {
+			scans[i] = make(chan scanOut, 1)
+		}
+		sem := make(chan struct{}, p)
+		go func() {
+			for i, wn := range windows {
+				sem <- struct{}{}
+				go func(i int, wn [2]int) {
+					defer func() { <-sem }()
+					g, err := build(wn, base)
+					if err != nil {
+						scans[i] <- scanOut{err: err}
+						return
+					}
+					ws := merger.ScanWindow(g, true)
+					scans[i] <- scanOut{ws: ws, mem: g.MemBytes(), be: g.Backend().String()}
+				}(i, wn)
+			}
+		}()
+		for i := range windows {
+			out := <-scans[i]
+			if out.err != nil {
+				if ferr == nil {
+					ferr = out.err
+				}
+				continue
+			}
+			if ferr != nil {
+				continue
+			}
+			if backend == "" {
+				backend = out.be
+			}
+			if out.mem > peak {
+				peak = out.mem
+			}
+			merger.Merge(out.ws, windows[i][0])
+		}
+	}
+	bsp.End()
+	if ferr != nil {
+		return &Result{OOM: true, Err: ferr, Chunked: true}
+	}
+	return &Result{
+		Report:     merger.Report(),
+		Chunked:    true,
+		HBVertices: len(a.tr.Recs),
+		HBMemBytes: peak,
+		Backend:    backend,
+	}
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomTrace builds a randomized trace for the stream-decoder tests.
+func randomTrace(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	c := NewCollector("stream-fuzz")
+	c.SetQueueInfo("n/q", 1+rng.Intn(3))
+	for i := 0; i < n; i++ {
+		c.Emit(randRec(rng, uint64(i+1)))
+	}
+	return c.Trace()
+}
+
+// tracesEqual compares two decoded traces field by field, normalizing nil
+// vs empty stacks the way the round-trip tests do.
+func tracesEqual(t *testing.T, got, want *Trace) {
+	t.Helper()
+	if got.Program != want.Program {
+		t.Fatalf("Program = %q, want %q", got.Program, want.Program)
+	}
+	if !reflect.DeepEqual(got.QueueConsumers, want.QueueConsumers) {
+		t.Fatalf("queues differ: %v vs %v", got.QueueConsumers, want.QueueConsumers)
+	}
+	if len(got.Recs) != len(want.Recs) {
+		t.Fatalf("rec count %d, want %d", len(got.Recs), len(want.Recs))
+	}
+	for i := range want.Recs {
+		a, b := want.Recs[i], got.Recs[i]
+		if len(a.Stack) == 0 {
+			a.Stack = nil
+		}
+		if len(b.Stack) == 0 {
+			b.Stack = nil
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("rec %d differs:\n got %+v\nwant %+v", i, b, a)
+		}
+	}
+}
+
+// The stream decoder fed arbitrary segmentations must agree with the batch
+// decoder on the same bytes — including the pathological one-byte-at-a-time
+// feed, which crosses every record mid-field.
+func TestStreamDecoderEquivalence(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 200} {
+		data := randomTrace(int64(n)+1, n).Encode()
+		want, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		segmentations := [][]int{
+			{len(data)}, // one shot
+			{1},         // byte at a time
+			{13},        // small fixed segments
+			{5, 64, 1, 7, 4096},
+		}
+		for si, seg := range segmentations {
+			d := NewStreamDecoder()
+			pos, k := 0, 0
+			for pos < len(data) {
+				sz := seg[k%len(seg)]
+				k++
+				if pos+sz > len(data) {
+					sz = len(data) - pos
+				}
+				if _, err := d.Feed(data[pos : pos+sz]); err != nil {
+					t.Fatalf("n=%d seg=%d Feed at %d: %v", n, si, pos, err)
+				}
+				pos += sz
+			}
+			got, err := d.Finish()
+			if err != nil {
+				t.Fatalf("n=%d seg=%d Finish: %v", n, si, err)
+			}
+			tracesEqual(t, got, want)
+			if d.Consumed() != int64(len(data)) {
+				t.Fatalf("n=%d seg=%d consumed %d of %d bytes", n, si, d.Consumed(), len(data))
+			}
+		}
+	}
+}
+
+// A feed cut mid-record must leave the decoder resumable: the already
+// complete records are visible, Finish reports truncation, and feeding the
+// remaining bytes completes the trace exactly.
+func TestStreamDecoderMidRecordResume(t *testing.T) {
+	tr := randomTrace(42, 50)
+	data := tr.Encode()
+	want, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+
+	// Find a cut point strictly inside a record: feed byte by byte and stop
+	// at a prefix where the header is done but the next record is partial.
+	probe := NewStreamDecoder()
+	cut := 0
+	for i := 0; i < len(data); i++ {
+		if _, err := probe.Feed(data[i : i+1]); err != nil {
+			t.Fatalf("probe feed: %v", err)
+		}
+		if probe.HeaderDone() && probe.Records() == 10 && probe.BufferedBytes() > 0 {
+			cut = i + 1
+			break
+		}
+	}
+	if cut == 0 {
+		t.Fatal("found no mid-record cut point")
+	}
+
+	d := NewStreamDecoder()
+	if _, err := d.Feed(data[:cut]); err != nil {
+		t.Fatalf("Feed prefix: %v", err)
+	}
+	if d.Done() {
+		t.Fatal("decoder done on a truncated prefix")
+	}
+	if d.Records() != 10 {
+		t.Fatalf("prefix decoded %d records, want 10", d.Records())
+	}
+	if _, err := d.Finish(); err == nil {
+		t.Fatal("Finish accepted a mid-record truncation")
+	}
+	// The failed Finish is not fatal: the decoder resumes from the retained
+	// partial-record tail.
+	if _, err := d.Feed(data[cut:]); err != nil {
+		t.Fatalf("Feed remainder: %v", err)
+	}
+	got, err := d.Finish()
+	if err != nil {
+		t.Fatalf("Finish after resume: %v", err)
+	}
+	tracesEqual(t, got, want)
+}
+
+// Corrupt inputs must fail with an error, never panic, and the error must be
+// sticky across further feeds.
+func TestStreamDecoderErrors(t *testing.T) {
+	d := NewStreamDecoder()
+	if _, err := d.Feed([]byte("NOPE....")); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	if _, err := d.Feed([]byte("more")); err == nil {
+		t.Fatal("error not sticky")
+	}
+
+	data := randomTrace(7, 20).Encode()
+	bad := append([]byte(nil), data...)
+	bad[4] = 99
+	d = NewStreamDecoder()
+	if _, err := d.Feed(bad); err == nil {
+		t.Fatal("accepted bad version")
+	}
+
+	// Trailing garbage after the declared record count is ignored, matching
+	// Decode.
+	d = NewStreamDecoder()
+	if _, err := d.Feed(append(append([]byte(nil), data...), "garbage"...)); err != nil {
+		t.Fatalf("trailing bytes rejected: %v", err)
+	}
+	if _, err := d.Finish(); err != nil {
+		t.Fatalf("Finish with trailing bytes: %v", err)
+	}
+}
