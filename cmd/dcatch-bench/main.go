@@ -21,6 +21,13 @@
 //	                                   # dcatch-serve, write BENCH_serve.json
 //	dcatch-bench -serve-load -serve-url http://host:8080
 //	                                   # same, against a running service
+//	dcatch-bench -cluster-workers 1,2,4
+//	                                   # distributed-detection scale-out sweep against
+//	                                   # in-process window-scan workers, write
+//	                                   # BENCH_cluster.json; exit 1 if any cluster report
+//	                                   # diverges from the single-node chunked oracle
+//	dcatch-bench -synth-records 50000 -synth-out t.bin
+//	                                   # write a deterministic synthetic trace for CI
 package main
 
 import (
@@ -62,6 +69,15 @@ func main() {
 		serveRecords = flag.Int("serve-records", 5000, "with -serve-load: synthetic upload trace length")
 		serveBench   = flag.String("serve-bench", "MR-3274", "with -serve-load: subject benchmark ID")
 		serveOut     = flag.String("serve-out", "BENCH_serve.json", "with -serve-load: output path")
+
+		clusterWorkers = flag.String("cluster-workers", "", "comma-separated worker counts for the distributed-detection scale-out sweep (e.g. 1,2,4); exits 1 if any cluster report diverges from the single-node chunked oracle")
+		clusterRecords = flag.Int("cluster-records", 1_000_000, "with -cluster-workers: synthetic trace length")
+		clusterChunk   = flag.Int("cluster-chunk", 50_000, "with -cluster-workers: records per distributed window")
+		clusterReps    = flag.Int("cluster-reps", 3, "with -cluster-workers: repetitions per worker count (minimum wall wins)")
+		clusterOut     = flag.String("cluster-out", "BENCH_cluster.json", "with -cluster-workers: output path")
+
+		synthRecords = flag.Int("synth-records", 0, "generate a synthetic trace of this many records and exit (for CI smoke jobs)")
+		synthOut     = flag.String("synth-out", "trace.bin", "with -synth-records: output path")
 	)
 	flag.Parse()
 
@@ -69,8 +85,22 @@ func main() {
 		fmt.Println(obs.Version())
 		return
 	}
+	if *synthRecords > 0 {
+		if err := writeSyntheticTrace(*synthRecords, *synthOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serveLoad {
 		if err := runServeLoad(*serveURL, *serveConc, *serveJobs, *serveMix, *serveRecords, *serveBench, *serveOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *clusterWorkers != "" {
+		if err := runClusterSweep(*clusterWorkers, *clusterRecords, *clusterChunk, *clusterReps, *clusterOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -273,6 +303,57 @@ func runServeLoad(url string, conc, jobs int, mix float64, records int, benchID,
 	fmt.Printf("result written to %s\n", out)
 	if res.Failed > 0 || res.Canceled > 0 {
 		return fmt.Errorf("dcatch-bench: %d failed / %d canceled jobs", res.Failed, res.Canceled)
+	}
+	return nil
+}
+
+// writeSyntheticTrace encodes a deterministic SyntheticTrace for CI smoke
+// jobs that need a trace file without running a subject system.
+func writeSyntheticTrace(records int, out string) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	tr := bench.SyntheticTrace(records, 42)
+	if err := tr.EncodeTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%d-record synthetic trace written to %s\n", len(tr.Recs), out)
+	return nil
+}
+
+// runClusterSweep executes the distributed-detection scale-out sweep and
+// writes BENCH_cluster.json. Divergence from the single-node oracle is the
+// only hard failure; a non-monotone wall only warns (single-core hosts can
+// jitter between adjacent worker counts).
+func runClusterSweep(workers string, records, chunk, reps int, out string) error {
+	counts, err := parseSizes(workers)
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunClusterSweep(records, chunk, counts, reps, 42, func(format string, args ...any) {
+		fmt.Printf("cluster: "+format+"\n", args...)
+	})
+	if res == nil {
+		return err
+	}
+	buf, jerr := res.JSON()
+	if jerr != nil {
+		return jerr
+	}
+	if werr := os.WriteFile(out, append(buf, '\n'), 0o644); werr != nil {
+		return werr
+	}
+	fmt.Printf("result written to %s\n", out)
+	if err != nil {
+		return err
+	}
+	if !res.MonotoneWall {
+		fmt.Fprintln(os.Stderr, "WARNING: wall time did not improve monotonically with worker count")
 	}
 	return nil
 }

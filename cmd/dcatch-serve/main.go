@@ -11,6 +11,16 @@
 //
 // Submit with the dcatch CLI (dcatch -submit http://host:8080 -bench ...)
 // or plain HTTP; see the README's "Serving" section for a curl walkthrough.
+//
+// Cluster mode shards one uploaded trace across several instances:
+//
+//	dcatch-serve -addr :8081 -worker                 # window-scan worker
+//	dcatch-serve -addr :8082 -worker                 # another
+//	dcatch-serve -addr :8080 -peers http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// The coordinator streams chunk windows to the workers as the upload
+// arrives and folds the replies into a report byte-identical to the
+// single-node chunked path; see the README's "Cluster mode" section.
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +51,10 @@ func main() {
 		eventBuf = flag.Int("event-buffer", 0, "per-job event ring size for /v1/jobs/{id}/events (0 = default 512)")
 		eventHB  = flag.Duration("event-heartbeat", 0, "event-stream keep-alive interval (0 = default 5s)")
 		noJobObs = flag.Bool("no-job-telemetry", false, "disable per-job recorders (/metrics keeps service-level data only)")
+		worker   = flag.Bool("worker", false, "serve the window-scan RPC so this instance can join a cluster as a worker")
+		wScans   = flag.Int("worker-scans", 0, "with -worker: concurrent remote window scans (0 = same as -workers)")
+		peers    = flag.String("peers", "", "comma-separated worker base URLs; trace jobs are sharded across them (coordinator mode)")
+		cChunk   = flag.Int("cluster-chunk", 0, "with -peers: records per distributed window (0 = default 50000)")
 		drainFor = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for accepted jobs to finish")
 		verbose  = flag.Bool("v", false, "log job progress to stderr")
 		version  = flag.Bool("version", false, "print the tool version and exit")
@@ -55,6 +70,12 @@ func main() {
 	if *verbose {
 		rec.SetLog(os.Stderr)
 	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
 	s := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -65,6 +86,10 @@ func main() {
 		EventBuffer:     *eventBuf,
 		EventHeartbeat:  *eventHB,
 		NoJobTelemetry:  *noJobObs,
+		Worker:          *worker,
+		WorkerScans:     *wScans,
+		Peers:           peerList,
+		ClusterChunk:    *cChunk,
 		Obs:             rec,
 	})
 
@@ -74,7 +99,14 @@ func main() {
 		os.Exit(1)
 	}
 	httpSrv := &http.Server{Handler: s.Handler()}
-	fmt.Printf("dcatch-serve listening on http://%s (POST /v1/jobs, GET /healthz, /readyz, /metrics, /debug/vars)\n", ln.Addr())
+	mode := ""
+	if *worker {
+		mode = ", worker"
+	}
+	if len(peerList) > 0 {
+		mode += fmt.Sprintf(", coordinating %d peer(s)", len(peerList))
+	}
+	fmt.Printf("dcatch-serve listening on http://%s (POST /v1/jobs, GET /healthz, /readyz, /metrics, /debug/vars%s)\n", ln.Addr(), mode)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

@@ -8,7 +8,12 @@
 //	dcatch-trace -stats t.bin
 //	dcatch-trace -dump -n 50 t.bin
 //	dcatch-trace -analyze [-parallel N] [-reach chain] t.bin
+//	dcatch-trace -analyze -peers http://host:8081,http://host:8082 t.bin
 //	dcatch-trace -follow [-poll 50ms] growing.bin
+//
+// With -peers the analysis is sharded across dcatch-serve -worker
+// instances window by window; the report stays byte-identical to the
+// single-node chunked run over the same options.
 package main
 
 import (
@@ -16,8 +21,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"dcatch/internal/cluster"
 	"dcatch/internal/core"
 	"dcatch/internal/detect"
 	"dcatch/internal/hb"
@@ -38,6 +45,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "with -analyze/-follow: analysis workers (0 = all CPUs)")
 	reach := flag.String("reach", "dense", "with -analyze/-follow: reachability backend (dense, chain, auto)")
 	scan := flag.String("scan", "auto", "with -analyze/-follow: detection scan (auto, epoch, interval, quadratic)")
+	chunk := flag.Int("chunk", 0, "with -analyze/-follow: records per window for the chunked fallback (0 = disabled); with -peers: distributed window size (0 = default 50000)")
+	memBudget := flag.Int64("mem-budget", 0, "with -analyze/-follow: reachability memory budget in bytes (0 = unlimited)")
+	peers := flag.String("peers", "", "with -analyze: comma-separated dcatch-serve -worker base URLs to shard the analysis across")
 	version := flag.Bool("version", false, "print the tool version and exit")
 	flag.Parse()
 	if *version {
@@ -64,6 +74,8 @@ func main() {
 			os.Exit(2)
 		}
 		opts.Detect.Scan = scanMode
+		opts.ChunkSize = *chunk
+		opts.HB.MemBudget = *memBudget
 		return opts
 	}
 	if *follow {
@@ -82,6 +94,9 @@ func main() {
 	}
 	if *analyze {
 		opts := analysisOptions()
+		if *peers != "" {
+			os.Exit(runCluster(tr, opts, *peers, *chunk))
+		}
 		res, err := core.AnalyzeTrace(tr, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -122,6 +137,47 @@ func main() {
 			fmt.Printf("  %s\n", &tr.Recs[i])
 		}
 	}
+}
+
+// runCluster shards -analyze across dcatch-serve -worker peers: the trace is
+// cut into chunk windows, each window is scanned by a worker over the
+// window-scan RPC (failed windows re-run locally), and the replies fold in
+// window order into a report byte-identical to the single-node chunked run.
+func runCluster(tr *trace.Trace, opts core.Options, peers string, chunk int) int {
+	if chunk <= 0 {
+		chunk = 50_000
+	}
+	var peerList []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	rec := obs.New()
+	rec.SetLog(os.Stderr)
+	coord, err := cluster.NewCoordinator(cluster.Config{
+		Peers:     peerList,
+		ChunkSize: chunk,
+		HB:        opts.HB,
+		Detect:    opts.Detect,
+		Obs:       rec,
+		Logf:      rec.Logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	t0 := time.Now()
+	coord.Notify(tr)
+	cres := coord.Finish(tr)
+	res := cluster.CoreResult(tr, cres, time.Since(t0))
+	fmt.Fprintf(os.Stderr, "cluster: %d windows (%d remote, %d local) across %d peer(s) in %v\n",
+		cres.Windows, cres.Remote, cres.Local, len(peerList), time.Since(t0).Round(time.Millisecond))
+	fmt.Print(serve.RenderTrace(res))
+	if res.OOM {
+		return 1
+	}
+	return 0
 }
 
 // runFollow tails a trace file that is still being written: bytes are fed to

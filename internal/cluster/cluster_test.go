@@ -1,0 +1,365 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dcatch/internal/detect"
+	"dcatch/internal/hb"
+	"dcatch/internal/lifecycle"
+	"dcatch/internal/obs"
+	"dcatch/internal/trace"
+)
+
+// racyTrace builds a trace whose unsynchronized conflicting accesses land in
+// every chunk window, so each shard contributes candidates and the same
+// callstack pairs recur across windows.
+func racyTrace(n int) *trace.Trace {
+	rng := rand.New(rand.NewSource(11))
+	c := trace.NewCollector("racy")
+	for i := 0; i < n; i++ {
+		th := int32(1 + rng.Intn(4))
+		kind := trace.KMemRead
+		if rng.Intn(2) == 0 {
+			kind = trace.KMemWrite
+		}
+		c.Emit(trace.Rec{
+			Node: "n", Thread: th, Ctx: th, CtxKind: trace.CtxRegular,
+			Kind: kind, Obj: []string{"n/a", "n/b", "n/c"}[rng.Intn(3)],
+			StaticID: int32(10 + rng.Intn(6)),
+			Stack:    []int32{int32(100 + rng.Intn(5)), int32(rng.Intn(3))},
+		})
+	}
+	return c.Trace()
+}
+
+// oracle renders the single-node chunked report the cluster must match.
+func oracle(t *testing.T, tr *trace.Trace, chunk int) string {
+	t.Helper()
+	chunks, err := hb.BuildChunked(tr, hb.ChunkConfig{ChunkSize: chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return detect.FindChunked(chunks, detect.Options{Parallelism: 1}).Format(nil)
+}
+
+func newWorkerServer(t *testing.T, cfg WorkerConfig) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle("POST "+ScanPath, NewWorker(cfg))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func runJob(t *testing.T, tr *trace.Trace, cfg Config) (*Result, *obs.Recorder) {
+	t.Helper()
+	rec := obs.New()
+	cfg.Obs = rec
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Notify(tr)
+	return coord.Finish(tr), rec
+}
+
+func TestClusterByteIdentical(t *testing.T) {
+	tr := racyTrace(2600)
+	const chunk = 500
+	want := oracle(t, tr, chunk)
+
+	// The second worker answers with a varying delay so replies race back
+	// out of dispatch order; the window-ordered fold must not care.
+	w1 := newWorkerServer(t, WorkerConfig{Scans: 2})
+	delayed := NewWorker(WorkerConfig{Scans: 2})
+	var mu atomic.Int32
+	w2mux := http.NewServeMux()
+	w2mux.HandleFunc("POST "+ScanPath, func(rw http.ResponseWriter, r *http.Request) {
+		n := mu.Add(1)
+		time.Sleep(time.Duration(n*7%20) * time.Millisecond)
+		delayed.ServeHTTP(rw, r)
+	})
+	w2 := httptest.NewServer(w2mux)
+	t.Cleanup(w2.Close)
+
+	res, rec := runJob(t, tr, Config{
+		Peers:     []string{w1.URL, w2.URL},
+		ChunkSize: chunk,
+	})
+	if res.OOM {
+		t.Fatalf("unexpected OOM: %v", res.Err)
+	}
+	if got := res.Report.Format(nil); got != want {
+		t.Fatalf("cluster report differs from single-node chunked:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if res.Remote != res.Windows || res.Local != 0 {
+		t.Fatalf("windows=%d remote=%d local=%d; want all remote", res.Windows, res.Remote, res.Local)
+	}
+	if mu.Load() == 0 {
+		t.Fatal("second worker never scanned a window")
+	}
+	ctr := rec.Counters()
+	if ctr["cluster.windows.remote"] != int64(res.Windows) || ctr["cluster.windows.dispatched"] != int64(res.Windows) {
+		t.Fatalf("counters %v inconsistent with %d windows", ctr, res.Windows)
+	}
+	if res.Backend == "" || res.PeakMemBytes == 0 {
+		t.Fatalf("missing aggregated stats: backend=%q peak=%d", res.Backend, res.PeakMemBytes)
+	}
+}
+
+// TestWorkerDiesMidJob kills one worker after its first scan: its remaining
+// windows must be re-run locally and the report must not change.
+func TestWorkerDiesMidJob(t *testing.T) {
+	tr := racyTrace(2600)
+	const chunk = 500
+	want := oracle(t, tr, chunk)
+
+	w1 := newWorkerServer(t, WorkerConfig{})
+	flaky := NewWorker(WorkerConfig{})
+	var served atomic.Int32
+	w2mux := http.NewServeMux()
+	w2mux.HandleFunc("POST "+ScanPath, func(rw http.ResponseWriter, r *http.Request) {
+		if served.Add(1) > 1 {
+			panic(http.ErrAbortHandler) // connection dropped mid-reply
+		}
+		flaky.ServeHTTP(rw, r)
+	})
+	w2 := httptest.NewServer(w2mux)
+	t.Cleanup(w2.Close)
+
+	res, rec := runJob(t, tr, Config{
+		Peers:        []string{w1.URL, w2.URL},
+		ChunkSize:    chunk,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   2 * time.Millisecond,
+	})
+	if res.OOM {
+		t.Fatalf("unexpected OOM: %v", res.Err)
+	}
+	if got := res.Report.Format(nil); got != want {
+		t.Fatalf("report changed after worker death:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if res.Local == 0 {
+		t.Fatal("no window fell back to the local scan")
+	}
+	if res.Remote+res.Local != res.Windows {
+		t.Fatalf("remote=%d local=%d windows=%d", res.Remote, res.Local, res.Windows)
+	}
+	ctr := rec.Counters()
+	if ctr["cluster.peer_failures"] == 0 {
+		t.Error("cluster.peer_failures not counted")
+	}
+	if ctr["cluster.peers.down"] != 1 {
+		t.Errorf("cluster.peers.down = %d, want 1", ctr["cluster.peers.down"])
+	}
+}
+
+// TestBusyRetrySucceeds answers the first two attempts 429; the coordinator
+// must back off and retry on the same peer without local fallback.
+func TestBusyRetrySucceeds(t *testing.T) {
+	tr := racyTrace(1300)
+	const chunk = 500
+	want := oracle(t, tr, chunk)
+
+	real := NewWorker(WorkerConfig{})
+	var n atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+ScanPath, func(rw http.ResponseWriter, r *http.Request) {
+		if n.Add(1) <= 2 {
+			rw.Header().Set("Retry-After", "1")
+			http.Error(rw, "busy", http.StatusTooManyRequests)
+			return
+		}
+		real.ServeHTTP(rw, r)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	res, rec := runJob(t, tr, Config{
+		Peers:        []string{ts.URL},
+		ChunkSize:    chunk,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   2 * time.Millisecond,
+	})
+	if res.OOM || res.Local != 0 || res.Remote != res.Windows {
+		t.Fatalf("windows=%d remote=%d local=%d oom=%v; want all remote", res.Windows, res.Remote, res.Local, res.OOM)
+	}
+	if got := res.Report.Format(nil); got != want {
+		t.Fatalf("report differs after busy retries:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if rec.Counters()["cluster.retries.busy"] < 2 {
+		t.Errorf("cluster.retries.busy = %d, want >= 2", rec.Counters()["cluster.retries.busy"])
+	}
+}
+
+// TestAlwaysBusyFallsBackLocal exhausts the bounded retries against a peer
+// that never admits work; every window must complete locally.
+func TestAlwaysBusyFallsBackLocal(t *testing.T) {
+	tr := racyTrace(1300)
+	const chunk = 500
+	want := oracle(t, tr, chunk)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+ScanPath, func(rw http.ResponseWriter, r *http.Request) {
+		http.Error(rw, "busy", http.StatusTooManyRequests)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	res, _ := runJob(t, tr, Config{
+		Peers:        []string{ts.URL},
+		ChunkSize:    chunk,
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   time.Millisecond,
+	})
+	if res.OOM {
+		t.Fatalf("unexpected OOM: %v", res.Err)
+	}
+	if res.Remote != 0 || res.Local != res.Windows {
+		t.Fatalf("remote=%d local=%d windows=%d; want all local", res.Remote, res.Local, res.Windows)
+	}
+	if got := res.Report.Format(nil); got != want {
+		t.Fatalf("all-local fallback report differs:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestWorkerDrainRejects: once the host's drainer is closing, new scans are
+// refused with 503 so a terminating worker never accepts work it cannot
+// finish.
+func TestWorkerDrainRejects(t *testing.T) {
+	var drain lifecycle.Drainer
+	drain.Close(0)
+	ts := newWorkerServer(t, WorkerConfig{Drain: &drain})
+
+	tr := racyTrace(100)
+	resp, err := http.Post(ts.URL+ScanPath+"?window=0&start=0", "application/octet-stream", bytes.NewReader(tr.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestWorkerAdmissionTimeout: an admission gate that never grants memory
+// turns into a 429 once AdmitTimeout elapses — the coordinator's busy
+// handling, not an error, absorbs a memory-starved worker.
+func TestWorkerAdmissionTimeout(t *testing.T) {
+	ts := newWorkerServer(t, WorkerConfig{
+		AdmitTimeout: 10 * time.Millisecond,
+		Admit: func(ctx context.Context, need int64) (func(), error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	tr := racyTrace(100)
+	resp, err := http.Post(ts.URL+ScanPath+"?window=0&start=0", "application/octet-stream", bytes.NewReader(tr.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+}
+
+func TestWorkerRejectsBadRequests(t *testing.T) {
+	ts := newWorkerServer(t, WorkerConfig{})
+	post := func(query string, body []byte) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+ScanPath+query, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	tr := racyTrace(50)
+	if got := post("?reach=bogus", tr.Encode()); got != http.StatusBadRequest {
+		t.Errorf("bad reach: status %d, want 400", got)
+	}
+	if got := post("?scan=bogus", tr.Encode()); got != http.StatusBadRequest {
+		t.Errorf("bad scan: status %d, want 400", got)
+	}
+	if got := post("?window=-1", tr.Encode()); got != http.StatusBadRequest {
+		t.Errorf("negative window: status %d, want 400", got)
+	}
+	if got := post("", []byte("not a trace")); got != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d, want 400", got)
+	}
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	base := Config{Peers: []string{"http://localhost:1"}, ChunkSize: 100}
+	if _, err := NewCoordinator(Config{ChunkSize: 100}); err == nil {
+		t.Error("no peers accepted")
+	}
+	if _, err := NewCoordinator(Config{Peers: base.Peers}); err == nil {
+		t.Error("zero chunk size accepted")
+	}
+	if _, err := NewCoordinator(Config{Peers: []string{"::bad::"}, ChunkSize: 100}); err == nil {
+		t.Error("unparseable peer URL accepted")
+	}
+	cfg := base
+	cfg.HB = hb.Config{DisableRPC: true}
+	if _, err := NewCoordinator(cfg); err == nil || !strings.Contains(err.Error(), "ablation") {
+		t.Errorf("rule ablation accepted: %v", err)
+	}
+	cfg = base
+	cfg.HB = hb.Config{LoopReads: map[int32][]int32{40: {21}}}
+	if _, err := NewCoordinator(cfg); err == nil {
+		t.Error("LoopReads accepted")
+	}
+}
+
+// TestScanRequestQueryRoundTrip pins the wire form of the typed request.
+func TestScanRequestQueryRoundTrip(t *testing.T) {
+	in := ScanRequest{Window: 3, Start: 1500, Reach: "chain", Scan: "epoch", MaxGroup: 40, MemBudget: 1 << 20}
+	out, err := parseScanRequest(in.query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed request: %+v != %+v", out, in)
+	}
+	if _, err := parseScanRequest(ScanRequest{}.query()); err != nil {
+		t.Fatalf("zero request must parse (defaults): %v", err)
+	}
+}
+
+// TestClusterOOMMatchesChunked: a window whose graph exceeds the memory
+// budget remotely is re-run locally, fails there too, and the job reports
+// OOM with the single-node chunk error shape.
+func TestClusterOOMMatchesChunked(t *testing.T) {
+	tr := racyTrace(1300)
+	const chunk = 500
+	ts := newWorkerServer(t, WorkerConfig{})
+	res, _ := runJob(t, tr, Config{
+		Peers:        []string{ts.URL},
+		ChunkSize:    chunk,
+		HB:           hb.Config{MemBudget: 1}, // nothing fits
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   time.Millisecond,
+		Retries:      1,
+	})
+	if !res.OOM || res.Err == nil {
+		t.Fatalf("want OOM result, got %+v", res)
+	}
+	if want := fmt.Sprintf("hb: chunk [%d,%d):", 0, chunk); !strings.Contains(res.Err.Error(), want) {
+		t.Fatalf("error %q does not carry the chunk shape %q", res.Err, want)
+	}
+	if res.Report != nil {
+		t.Fatal("OOM result carries a report")
+	}
+}

@@ -1,0 +1,458 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcatch/internal/core"
+	"dcatch/internal/detect"
+	"dcatch/internal/hb"
+	"dcatch/internal/obs"
+	"dcatch/internal/trace"
+)
+
+// Config configures one coordinated trace job.
+type Config struct {
+	// Peers lists worker base URLs ("http://host:port"). Required.
+	Peers []string
+
+	// ChunkSize is the window length in records (required, > 0);
+	// ChunkOverlap defaults to ChunkSize/4, exactly as hb.ChunkWindows.
+	ChunkSize    int
+	ChunkOverlap int
+
+	// HB and Detect are the per-window analysis options. They serve two
+	// roles: their wire-expressible subset (backend, scan mode, MaxGroup,
+	// MemBudget) becomes the ScanRequest sent to every worker, and they
+	// drive the local re-run of any window whose remote scan failed —
+	// guaranteeing remote and fallback scans agree. Rule-ablation switches
+	// and LoopReads are rejected: they cannot ride the wire.
+	HB     hb.Config
+	Detect detect.Options
+
+	// InFlight is the number of concurrent requests per peer (default 2:
+	// one scanning, one pipelined behind it).
+	InFlight int
+
+	// Retries bounds attempts per window on its assigned peer (default 5);
+	// RetryBackoff is the initial backoff after a 429 or failure, doubling
+	// per attempt up to MaxBackoff (defaults 25ms and 400ms). A window
+	// that exhausts its attempts is re-run locally.
+	Retries      int
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+
+	// RequestTimeout bounds one scan RPC (default 2m).
+	RequestTimeout time.Duration
+
+	// Client is the HTTP client for peer calls (default http.DefaultClient
+	// semantics with no global timeout; per-request contexts apply).
+	Client *http.Client
+
+	// Obs receives cluster.* counters/histograms and per-peer scan spans;
+	// Logf receives fallback and peer-health notices.
+	Obs  *obs.Recorder
+	Logf func(format string, args ...any)
+}
+
+// Result is the outcome of one coordinated job.
+type Result struct {
+	// Report is the merged candidate report (nil when OOM).
+	Report *detect.Report
+	// OOM is set when some window's graph exceeded the memory budget even
+	// locally; Err is that first window's error — the same shape the
+	// single-node chunked replay reports.
+	OOM bool
+	Err error
+	// Windows counts the job's windows; Remote of them were scanned by
+	// peers, Local were re-run by the coordinator after remote failure.
+	Windows int
+	Remote  int
+	Local   int
+	// Backend names the first window's reachability backend and
+	// PeakMemBytes the largest per-window closure footprint.
+	Backend      string
+	PeakMemBytes int64
+}
+
+// peerDownAfter is how many consecutive hard failures (transport errors or
+// non-429 statuses) mark a peer down; its remaining windows fail fast to
+// the local fallback instead of burning a timeout each.
+const peerDownAfter = 3
+
+var errClosed = errors.New("cluster: coordinator closed")
+
+type task struct {
+	index      int
+	start, end int
+	body       []byte
+	out        chan scanOut
+}
+
+type scanOut struct {
+	ws      detect.WindowScan
+	mem     int64
+	backend string
+	remote  bool
+	err     error
+}
+
+type peer struct {
+	base  string
+	queue chan task
+	fails atomic.Int32
+	down  atomic.Bool
+}
+
+// Coordinator drives one trace job across the configured peers. It is used
+// by a single goroutine: Notify during ingest as the trace grows, then
+// Finish once the trace is complete — or Close to abandon the job. Peer
+// dispatch and the scans themselves run on internal goroutines; only the
+// window-ordered fold in Finish is sequential, which is what makes the
+// output deterministic regardless of reply arrival order.
+type Coordinator struct {
+	cfg  Config
+	req  ScanRequest // wire template; Window/Start filled per task
+	rec  *obs.Recorder
+	logf func(string, ...any)
+
+	size, overlap int
+	peers         []*peer
+	wg            sync.WaitGroup
+	closeOnce     sync.Once
+	aborted       atomic.Bool
+
+	start    int // open window's start
+	windows  [][2]int
+	outs     []chan scanOut
+	finished bool
+}
+
+// NewCoordinator validates the config and starts the per-peer senders.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers configured")
+	}
+	if cfg.ChunkSize <= 0 {
+		return nil, fmt.Errorf("cluster: chunk size must be positive, got %d", cfg.ChunkSize)
+	}
+	if cfg.HB.DisableEvent || cfg.HB.DisableRPC || cfg.HB.DisableSocket || cfg.HB.DisablePush || len(cfg.HB.LoopReads) > 0 {
+		return nil, fmt.Errorf("cluster: HB rule ablations and LoopReads are not supported in cluster mode")
+	}
+	if cfg.InFlight <= 0 {
+		cfg.InFlight = 2
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 5
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 400 * time.Millisecond
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Minute
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	overlap := cfg.ChunkOverlap
+	if overlap <= 0 {
+		overlap = cfg.ChunkSize / 4
+	}
+	if overlap >= cfg.ChunkSize {
+		overlap = cfg.ChunkSize - 1
+	}
+	c := &Coordinator{
+		cfg: cfg,
+		req: ScanRequest{
+			Reach:     cfg.HB.ReachBackend.String(),
+			Scan:      cfg.Detect.Scan.String(),
+			MaxGroup:  cfg.Detect.MaxGroup,
+			MemBudget: cfg.HB.MemBudget,
+		},
+		rec:     cfg.Obs,
+		logf:    cfg.Logf,
+		size:    cfg.ChunkSize,
+		overlap: overlap,
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
+	}
+	for _, p := range cfg.Peers {
+		base := strings.TrimRight(strings.TrimSpace(p), "/")
+		u, err := url.Parse(base)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: bad peer URL %q", p)
+		}
+		pr := &peer{base: base, queue: make(chan task, cfg.InFlight)}
+		c.peers = append(c.peers, pr)
+		for k := 0; k < cfg.InFlight; k++ {
+			c.wg.Add(1)
+			go c.peerLoop(pr)
+		}
+	}
+	return c, nil
+}
+
+// Notify dispatches every window that has filled within the first n records
+// of tr — the streaming restatement of hb.ChunkWindows' loop, called from
+// the ingest path as segments arrive. tr may still be growing: only the
+// decoded prefix is touched, and each window's segment is encoded before
+// Notify returns, so later appends (or backing-array reallocation) cannot
+// race the dispatch. Enqueueing blocks once the assigned peer's bounded
+// queue is full, which backpressures ingest instead of buffering the whole
+// trace in flight.
+func (c *Coordinator) Notify(tr *trace.Trace) {
+	for c.start+c.size <= len(tr.Recs) {
+		end := c.start + c.size
+		c.dispatch(tr, c.start, end)
+		c.start = end - c.overlap
+	}
+}
+
+func (c *Coordinator) dispatch(tr *trace.Trace, start, end int) {
+	i := len(c.windows)
+	out := make(chan scanOut, 1)
+	c.windows = append(c.windows, [2]int{start, end})
+	c.outs = append(c.outs, out)
+	body := tr.Window(start, end).Encode()
+	c.rec.Count("cluster.windows.dispatched", 1)
+	c.peers[i%len(c.peers)].queue <- task{index: i, start: start, end: end, body: body, out: out}
+}
+
+func (c *Coordinator) closeQueues() {
+	c.closeOnce.Do(func() {
+		for _, p := range c.peers {
+			close(p.queue)
+		}
+	})
+}
+
+// Close abandons the job: in-flight scans stop retrying and queued windows
+// are discarded. It must not race Notify or Finish — callers invoke it
+// after the job reaches a terminal state without Finish having run (for
+// example a trace job canceled while still queued).
+func (c *Coordinator) Close() {
+	c.aborted.Store(true)
+	c.closeQueues()
+}
+
+// Finish dispatches the tail window, waits for every reply in window-index
+// order — re-running any failed window locally — and folds them through
+// ChunkMerger.Merge. tr must be the complete trace Notify was fed.
+func (c *Coordinator) Finish(tr *trace.Trace) *Result {
+	if c.finished {
+		return &Result{OOM: true, Err: fmt.Errorf("cluster: Finish called twice")}
+	}
+	c.finished = true
+	n := len(tr.Recs)
+	if len(c.windows) == 0 || c.windows[len(c.windows)-1][1] < n {
+		c.dispatch(tr, c.start, n)
+	}
+	c.closeQueues()
+
+	sp := c.rec.Span("cluster.merge")
+	sp.Attr("windows", len(c.windows))
+	sp.Attr("peers", len(c.peers))
+	dopts := c.cfg.Detect
+	dopts.Obs = sp
+	merger := detect.NewChunkMerger(dopts)
+	res := &Result{Windows: len(c.windows)}
+	for i, wn := range c.windows {
+		out := <-c.outs[i]
+		if out.err != nil && res.Err == nil {
+			c.rec.Count("cluster.windows.local", 1)
+			c.logf("cluster: window %d [%d,%d): remote scan failed (%v); re-running locally",
+				i, wn[0], wn[1], out.err)
+			out = c.scanLocal(tr, wn, sp)
+		}
+		if out.err != nil {
+			// First failure wins and later windows are skipped — the same
+			// shape the single-node chunked replay reports, and the local
+			// error for an over-budget window is that path's exact error.
+			if res.Err == nil {
+				res.OOM, res.Err = true, out.err
+			}
+			continue
+		}
+		if out.remote {
+			res.Remote++
+			c.rec.Count("cluster.windows.remote", 1)
+		} else {
+			res.Local++
+		}
+		if res.Backend == "" {
+			res.Backend = out.backend
+		}
+		if out.mem > res.PeakMemBytes {
+			res.PeakMemBytes = out.mem
+		}
+		merger.Merge(out.ws, wn[0])
+	}
+	c.wg.Wait()
+	if res.OOM {
+		sp.Attr("oom", true)
+		sp.End()
+		return res
+	}
+	res.Report = merger.Report()
+	sp.Attr("remote_windows", res.Remote)
+	sp.Attr("local_windows", res.Local)
+	sp.End()
+	return res
+}
+
+// scanLocal re-runs one window on the coordinator — the fallback that makes
+// a dead or saturated worker degrade the job to slower, never wrong.
+func (c *Coordinator) scanLocal(tr *trace.Trace, wn [2]int, parent *obs.Span) scanOut {
+	sp := parent.Child("cluster.local_scan")
+	sp.Attr("window_start", wn[0])
+	defer sp.End()
+	hcfg := c.cfg.HB
+	hcfg.Parallelism = 1
+	hcfg.Obs = sp
+	g, err := hb.Build(tr.Window(wn[0], wn[1]), hcfg)
+	if err != nil {
+		return scanOut{err: fmt.Errorf("hb: chunk [%d,%d): %w", wn[0], wn[1], err)}
+	}
+	dopts := c.cfg.Detect
+	dopts.Obs = sp
+	return scanOut{ws: detect.ScanGraph(g, dopts), mem: g.MemBytes(), backend: g.Backend().String()}
+}
+
+func (c *Coordinator) peerLoop(p *peer) {
+	defer c.wg.Done()
+	for t := range p.queue {
+		if c.aborted.Load() {
+			t.out <- scanOut{err: errClosed}
+			continue
+		}
+		t.out <- c.scanRemote(p, t)
+	}
+}
+
+// scanRemote runs one window's RPC with bounded retries. 429 means the
+// worker's scan slots (or admission gate) are saturated: back off and try
+// again without counting against peer health. Anything else — transport
+// errors, 5xx, an undecodable reply — is a hard failure; peerDownAfter of
+// those in a row mark the peer down and its remaining windows fail fast.
+func (c *Coordinator) scanRemote(p *peer, t task) scanOut {
+	sp := c.rec.Span("cluster.scan")
+	sp.Attr("peer", p.base)
+	sp.Attr("window", t.index)
+	sp.Attr("records", t.end-t.start)
+	defer sp.End()
+	req := c.req
+	req.Window, req.Start = t.index, t.start
+	u := p.base + ScanPath + "?" + req.query().Encode()
+	backoff := c.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
+		if c.aborted.Load() {
+			return scanOut{err: errClosed}
+		}
+		if p.down.Load() {
+			lastErr = fmt.Errorf("cluster: peer %s is down", p.base)
+			break
+		}
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > c.cfg.MaxBackoff {
+				backoff = c.cfg.MaxBackoff
+			}
+		}
+		out, busy, err := c.attempt(u, t)
+		if err == nil {
+			p.fails.Store(0)
+			sp.Attr("attempts", attempt+1)
+			return out
+		}
+		lastErr = err
+		if busy {
+			c.rec.Count("cluster.retries.busy", 1)
+			continue
+		}
+		c.rec.Count("cluster.peer_failures", 1)
+		if p.fails.Add(1) == peerDownAfter && !p.down.Swap(true) {
+			c.rec.Count("cluster.peers.down", 1)
+			c.logf("cluster: peer %s marked down after %d consecutive failures (%v)",
+				p.base, peerDownAfter, err)
+		}
+	}
+	sp.Attr("failed", true)
+	return scanOut{err: lastErr}
+}
+
+func (c *Coordinator) attempt(u string, t task) (scanOut, bool, error) {
+	t0 := time.Now()
+	hreq, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(t.body))
+	if err != nil {
+		return scanOut{}, false, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := c.cfg.Client.Do(hreq.WithContext(ctx))
+	if err != nil {
+		return scanOut{}, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+		return scanOut{}, true, fmt.Errorf("cluster: peer busy (429)")
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return scanOut{}, false, fmt.Errorf("cluster: peer answered %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return scanOut{}, false, err
+	}
+	ws, err := detect.DecodeWindowScan(body)
+	if err != nil {
+		return scanOut{}, false, err
+	}
+	mem, _ := strconv.ParseInt(resp.Header.Get(headerMemBytes), 10, 64)
+	c.rec.Observe("cluster.scan_rtt_us", time.Since(t0).Microseconds())
+	return scanOut{ws: ws, mem: mem, backend: resp.Header.Get(headerBackend), remote: true}, false, nil
+}
+
+// CoreResult lifts a cluster Result into the *core.Result shape the shared
+// renderer consumes, so coordinated jobs print bytes identical to the
+// single-node chunked path (serve.RenderTrace renders only the summary
+// counts and the final report, both of which the merged report determines).
+func CoreResult(tr *trace.Trace, cres *Result, analysis time.Duration) *core.Result {
+	res := &core.Result{Trace: tr, Chunked: true}
+	res.Stats.TraceRecords = len(tr.Recs)
+	res.Stats.TraceBytes = tr.EncodedSize()
+	res.Stats.AnalysisTime = analysis
+	if cres.OOM {
+		res.OOM = true
+		return res
+	}
+	rep := cres.Report
+	res.TA, res.SP, res.Final = rep, rep, rep
+	res.Stats.HBVertices = len(tr.Recs)
+	res.Stats.HBMemBytes = cres.PeakMemBytes
+	res.Stats.ReachBackend = cres.Backend
+	res.Stats.TAStatic = rep.StaticCount()
+	res.Stats.TACallstack = rep.CallstackCount()
+	res.Stats.SPStatic, res.Stats.SPCallstack = res.Stats.TAStatic, res.Stats.TACallstack
+	res.Stats.LPStatic, res.Stats.LPCallstack = res.Stats.TAStatic, res.Stats.TACallstack
+	return res
+}

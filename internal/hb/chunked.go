@@ -43,6 +43,35 @@ type Chunk struct {
 	Graph *Graph
 }
 
+// ChunkWindows returns the canonical [start, end) window list chunked
+// analysis uses for a trace of n records: windows of size records sharing
+// overlap records with their predecessor (overlap defaults to size/4 and is
+// clamped to size-1). Every consumer of the window decomposition —
+// BuildChunked, the streaming analyzer's replay, and the cluster
+// coordinator/worker split — derives its windows from this one function, so
+// their merged reports are byte-identical by construction.
+func ChunkWindows(n, size, overlap int) [][2]int {
+	if overlap <= 0 {
+		overlap = size / 4
+	}
+	if overlap >= size {
+		overlap = size - 1
+	}
+	stride := size - overlap
+	var windows [][2]int
+	for start := 0; ; start += stride {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		windows = append(windows, [2]int{start, end})
+		if end >= n {
+			break
+		}
+	}
+	return windows
+}
+
 // BuildChunked analyzes the trace window by window. Every window must fit
 // the per-window memory budget; window construction failures abort.
 //
@@ -60,41 +89,20 @@ func BuildChunked(tr *trace.Trace, cfg ChunkConfig) ([]Chunk, error) {
 	sp := cfg.Base.Obs.Child("hb.build_chunked")
 	defer sp.End()
 	cfg.Base.Obs = sp // per-window hb.build spans nest under this one
-	overlap := cfg.ChunkOverlap
-	if overlap <= 0 {
-		overlap = cfg.ChunkSize / 4
-	}
-	if overlap >= cfg.ChunkSize {
-		overlap = cfg.ChunkSize - 1
-	}
-	stride := cfg.ChunkSize - overlap
+	windows := ChunkWindows(len(tr.Recs), cfg.ChunkSize, cfg.ChunkOverlap)
 
-	type window struct{ start, end int }
-	var windows []window
-	n := len(tr.Recs)
-	for start := 0; ; start += stride {
-		end := start + cfg.ChunkSize
-		if end > n {
-			end = n
-		}
-		windows = append(windows, window{start, end})
-		if end >= n {
-			break
-		}
-	}
-
-	buildWindow := func(w window, base Config) (Chunk, error) {
+	buildWindow := func(w [2]int, base Config) (Chunk, error) {
 		sub := &trace.Trace{
 			Program:        tr.Program,
-			Recs:           make([]trace.Rec, w.end-w.start),
+			Recs:           make([]trace.Rec, w[1]-w[0]),
 			QueueConsumers: tr.QueueConsumers,
 		}
-		copy(sub.Recs, tr.Recs[w.start:w.end])
+		copy(sub.Recs, tr.Recs[w[0]:w[1]])
 		g, err := Build(sub, base)
 		if err != nil {
-			return Chunk{}, fmt.Errorf("hb: chunk [%d,%d): %w", w.start, w.end, err)
+			return Chunk{}, fmt.Errorf("hb: chunk [%d,%d): %w", w[0], w[1], err)
 		}
-		return Chunk{Start: w.start, Graph: g}, nil
+		return Chunk{Start: w[0], Graph: g}, nil
 	}
 
 	sp.Attr("windows", len(windows))

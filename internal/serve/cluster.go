@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"time"
+
+	"dcatch/internal/cluster"
+	"dcatch/internal/obs"
+	"dcatch/internal/trace"
+)
+
+// submitTraceCluster is submitTrace in coordinator mode: the upload is still
+// hashed and decoded segment by segment, but instead of feeding the local
+// streaming analyzer, every window that fills during ingest is dispatched to
+// a peer worker the moment it closes (the bounded per-peer queues
+// backpressure the body read). The job's run closure then folds the replies
+// in window order — re-running failed windows locally — and renders through
+// the shared RenderTrace, so the report is byte-identical to the single-node
+// chunked path over the same options.
+func (s *Server) submitTraceCluster(body io.Reader, jopt JobOptions) (*job, error) {
+	if jopt.ChunkSize <= 0 {
+		jopt.ChunkSize = s.cfg.ClusterChunk
+	}
+	opts, err := coreOptions(jopt)
+	if err != nil {
+		return nil, err
+	}
+	tel := s.newJobTelemetry()
+	opts.Obs = tel.rec
+	coord, err := cluster.NewCoordinator(cluster.Config{
+		Peers:     s.cfg.Peers,
+		ChunkSize: jopt.ChunkSize,
+		HB:        opts.HB,
+		Detect:    opts.Detect,
+		Obs:       tel.rec,
+		Logf:      tel.rec.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	h := sha256.New()
+	dec := trace.NewStreamDecoder()
+	dspan := tel.rec.Span("serve.decode")
+	buf := make([]byte, uploadSegmentBytes)
+	seg := 0
+	fail := func(err error) (*job, error) {
+		dspan.End()
+		coord.Close()
+		return nil, err
+	}
+	for {
+		n, rerr := body.Read(buf)
+		if n > 0 {
+			var ssp *obs.Span
+			if seg < maxSegmentSpans {
+				ssp = tel.rec.Span("serve.segment")
+			}
+			h.Write(buf[:n])
+			if _, derr := dec.Feed(buf[:n]); derr != nil {
+				ssp.End()
+				return fail(fmt.Errorf("serve: bad trace upload: %w", derr))
+			}
+			coord.Notify(dec.Trace())
+			ssp.Attr("bytes", n)
+			ssp.Attr("records", len(dec.Trace().Recs))
+			ssp.End()
+			seg++
+			tel.rec.Count("serve.upload_segments", 1)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return fail(fmt.Errorf("serve: reading trace upload: %w", rerr))
+		}
+	}
+	tr, err := dec.Finish()
+	if err != nil {
+		return fail(fmt.Errorf("serve: bad trace upload: %w", err))
+	}
+	dspan.Attr("records", len(tr.Recs))
+	dspan.Attr("segments", seg)
+	dspan.End()
+
+	run := func() (*jobResult, error) {
+		t0 := time.Now()
+		cres := coord.Finish(tr)
+		res := cluster.CoreResult(tr, cres, time.Since(t0))
+		tel.rec.Logf("cluster: %d windows (%d remote, %d local) across %d peers",
+			cres.Windows, cres.Remote, cres.Local, len(s.cfg.Peers))
+		stats := res.Stats
+		return &jobResult{report: []byte(RenderTrace(res)), summary: res.Summary(), stats: &stats, oom: res.OOM}, nil
+	}
+	key := clusterCacheKey(h.Sum(nil), jopt)
+	j, err := s.mgr.submit(KindTrace, tr.Program, key, jopt.MemBudget, tel, run)
+	if err != nil {
+		coord.Close()
+		return nil, err
+	}
+	// The coordinator must be released on every terminal path — including a
+	// cache hit or a cancel while queued, where run never executes and the
+	// peer senders would otherwise park forever. After a normal Finish the
+	// close is a no-op.
+	go func() {
+		<-j.done
+		coord.Close()
+	}()
+	s.reg.Register(tel.rec)
+	return j, nil
+}
+
+// admitScan charges a remote window scan against the server's admission
+// budget — the worker-mode analog of runJob's memGate acquire — so a
+// worker's concurrent remote windows and its own local jobs share one
+// memory discipline. The context bounds the wait; on timeout the RPC is
+// answered 429 and the coordinator backs off.
+func (s *Server) admitScan(ctx context.Context, need int64) (func(), error) {
+	if need <= 0 {
+		need = s.cfg.DefaultJobBytes
+	}
+	if s.cfg.MemBudget > 0 && need > s.cfg.MemBudget {
+		need = s.cfg.MemBudget
+	}
+	if err := s.mgr.mem.acquire(ctx, need); err != nil {
+		return nil, err
+	}
+	s.rec.Count("serve.admitted.bytes", need)
+	return func() { s.mgr.mem.release(need) }, nil
+}
+
+// clusterCacheKey is the content address of a coordinated trace job. It is
+// deliberately distinct from traceCacheKey: a coordinated job always chunks
+// (at the jopt.ChunkSize the coordinator resolved), while a single-node job
+// with the same bytes and options chunks only when the full build exceeds
+// its budget — the two can legitimately render different reports.
+func clusterCacheKey(bodySHA []byte, o JobOptions) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "cluster|%x|%s", bodySHA, optionsKey(o))
+	return hex.EncodeToString(h.Sum(nil))
+}

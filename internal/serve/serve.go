@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"dcatch/internal/bench"
+	"dcatch/internal/cluster"
 	"dcatch/internal/core"
 	"dcatch/internal/obs"
 	"dcatch/internal/stream"
@@ -72,6 +73,21 @@ type Config struct {
 	// observer, so /v1/jobs/{id}/metrics is empty and /metrics carries only
 	// service-level data. Reports are byte-identical either way.
 	NoJobTelemetry bool
+	// Peers lists cluster worker base URLs ("http://host:port"). Non-empty
+	// switches trace jobs to coordinator mode: the upload is partitioned by
+	// chunk window, windows are scanned by the peers (with local re-runs on
+	// failure), and the merged report is byte-identical to the single-node
+	// chunked path. Subject jobs are unaffected.
+	Peers []string
+	// Worker exposes the window-scan RPC (POST /v1/cluster/scan), backed by
+	// the same admission gate and drainer as local jobs.
+	Worker bool
+	// WorkerScans caps concurrent remote window scans in worker mode;
+	// excess requests are answered 429 immediately (default: Workers).
+	WorkerScans int
+	// ClusterChunk is the window size, in records, for coordinated trace
+	// jobs that do not set chunk_size themselves (default 50000).
+	ClusterChunk int
 	// Obs receives service counters and progress logs; nil allocates an
 	// internal recorder (exposed via Recorder).
 	Obs *obs.Recorder
@@ -98,6 +114,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EventHeartbeat <= 0 {
 		c.EventHeartbeat = 5 * time.Second
+	}
+	if c.WorkerScans <= 0 {
+		c.WorkerScans = c.Workers
+	}
+	if c.ClusterChunk <= 0 {
+		c.ClusterChunk = 50_000
 	}
 	return c
 }
@@ -223,6 +245,15 @@ func (s *Server) routes() {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.cfg.Worker {
+		mux.Handle("POST "+cluster.ScanPath, cluster.NewWorker(cluster.WorkerConfig{
+			Scans:        s.cfg.WorkerScans,
+			MaxBodyBytes: s.cfg.MaxBodyBytes,
+			Drain:        &s.mgr.drain,
+			Obs:          s.rec,
+			Admit:        s.admitScan,
+		}))
+	}
 	dm := obs.DebugMux(s.reg)
 	mux.Handle("/debug/", dm)
 	mux.Handle("/metrics", dm)
@@ -350,6 +381,9 @@ func (s *Server) submitTrace(body io.Reader, r *http.Request) (*job, error) {
 	jopt, err := traceQueryOptions(r)
 	if err != nil {
 		return nil, err
+	}
+	if len(s.cfg.Peers) > 0 {
+		return s.submitTraceCluster(body, jopt)
 	}
 	opts, err := coreOptions(jopt)
 	if err != nil {

@@ -146,25 +146,7 @@ func (w *windowed) finish() *Result {
 
 // batchWindows computes hb.BuildChunked's window list for n records.
 func batchWindows(n, size, overlap int) [][2]int {
-	if overlap <= 0 {
-		overlap = size / 4
-	}
-	if overlap >= size {
-		overlap = size - 1
-	}
-	stride := size - overlap
-	var windows [][2]int
-	for start := 0; ; start += stride {
-		end := start + size
-		if end > n {
-			end = n
-		}
-		windows = append(windows, [2]int{start, end})
-		if end >= n {
-			break
-		}
-	}
-	return windows
+	return hb.ChunkWindows(n, size, overlap)
 }
 
 // replayWindows is the non-eager fallback: the accumulated trace is replayed

@@ -137,6 +137,22 @@ type Trace struct {
 // SingleConsumer reports whether the named queue has exactly one consumer.
 func (t *Trace) SingleConsumer(q string) bool { return t.QueueConsumers[q] == 1 }
 
+// Window returns records [start, end) as a standalone trace sharing the
+// receiver's backing array, program name and queue metadata — the segment a
+// cluster coordinator ships to a worker, cut at a record boundary. The view
+// is capacity-clipped so appends through it cannot clobber the parent, but
+// it aliases the parent's records: treat both as read-only while the view
+// is alive. Records already decoded are never mutated by further appends to
+// the parent, so taking a window of a still-growing trace is safe as long
+// as end is within the decoded prefix.
+func (t *Trace) Window(start, end int) *Trace {
+	return &Trace{
+		Program:        t.Program,
+		Recs:           t.Recs[start:end:end],
+		QueueConsumers: t.QueueConsumers,
+	}
+}
+
 // Collector accumulates records during a run. The cooperative scheduler
 // guarantees only one thread executes at a time, so Collector needs no
 // internal locking; the scheduler's channel handshakes order all accesses.
