@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"dcatch/internal/obs"
+	"dcatch/internal/scancache"
 	"dcatch/internal/serve"
 )
 
@@ -55,6 +56,9 @@ func main() {
 		wScans   = flag.Int("worker-scans", 0, "with -worker: concurrent remote window scans (0 = same as -workers)")
 		peers    = flag.String("peers", "", "comma-separated worker base URLs; trace jobs are sharded across them (coordinator mode)")
 		cChunk   = flag.Int("cluster-chunk", 0, "with -peers: records per distributed window (0 = default 50000)")
+		scDir    = flag.String("scancache-dir", "", "persistent window-scan cache directory (empty = memory-only cache when -scancache-mem > 0)")
+		scMem    = flag.Int64("scancache-mem", 0, "in-memory window-scan cache budget in bytes (0 with no -scancache-dir disables the cache; 0 with -scancache-dir = default 256 MiB)")
+		scDisk   = flag.Int64("scancache-disk", 0, "with -scancache-dir: on-disk cache budget in bytes (0 = default 1 GiB)")
 		drainFor = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for accepted jobs to finish")
 		verbose  = flag.Bool("v", false, "log job progress to stderr")
 		version  = flag.Bool("version", false, "print the tool version and exit")
@@ -76,6 +80,20 @@ func main() {
 			peerList = append(peerList, p)
 		}
 	}
+	var sc *scancache.Cache
+	if *scDir != "" || *scMem > 0 {
+		var err error
+		sc, err = scancache.New(scancache.Config{
+			MaxBytes:     *scMem,
+			Dir:          *scDir,
+			DiskMaxBytes: *scDisk,
+			Obs:          rec,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	s := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -90,6 +108,7 @@ func main() {
 		WorkerScans:     *wScans,
 		Peers:           peerList,
 		ClusterChunk:    *cChunk,
+		ScanCache:       sc,
 		Obs:             rec,
 	})
 

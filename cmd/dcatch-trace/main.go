@@ -29,6 +29,7 @@ import (
 	"dcatch/internal/detect"
 	"dcatch/internal/hb"
 	"dcatch/internal/obs"
+	"dcatch/internal/scancache"
 	"dcatch/internal/serve"
 	"dcatch/internal/stream"
 	"dcatch/internal/trace"
@@ -48,6 +49,9 @@ func main() {
 	chunk := flag.Int("chunk", 0, "with -analyze/-follow: records per window for the chunked fallback (0 = disabled); with -peers: distributed window size (0 = default 50000)")
 	memBudget := flag.Int64("mem-budget", 0, "with -analyze/-follow: reachability memory budget in bytes (0 = unlimited)")
 	peers := flag.String("peers", "", "with -analyze: comma-separated dcatch-serve -worker base URLs to shard the analysis across")
+	scDir := flag.String("scancache-dir", "", "persistent window-scan cache directory: chunked/distributed reruns skip windows whose bytes and options match a cached scan")
+	scMem := flag.Int64("scancache-mem", 0, "in-memory window-scan cache budget in bytes (0 with no -scancache-dir disables the cache; 0 with -scancache-dir = default 256 MiB)")
+	scDisk := flag.Int64("scancache-disk", 0, "with -scancache-dir: on-disk cache budget in bytes (0 = default 1 GiB)")
 	version := flag.Bool("version", false, "print the tool version and exit")
 	flag.Parse()
 	if *version {
@@ -76,6 +80,16 @@ func main() {
 		opts.Detect.Scan = scanMode
 		opts.ChunkSize = *chunk
 		opts.HB.MemBudget = *memBudget
+		if *scDir != "" || *scMem > 0 {
+			sc, err := scancache.New(scancache.Config{
+				MaxBytes: *scMem, Dir: *scDir, DiskMaxBytes: *scDisk,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			opts.ScanCache = sc
+		}
 		return opts
 	}
 	if *follow {
@@ -162,6 +176,7 @@ func runCluster(tr *trace.Trace, opts core.Options, peers string, chunk int) int
 		Detect:    opts.Detect,
 		Obs:       rec,
 		Logf:      rec.Logf,
+		Cache:     opts.ScanCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -171,8 +186,8 @@ func runCluster(tr *trace.Trace, opts core.Options, peers string, chunk int) int
 	coord.Notify(tr)
 	cres := coord.Finish(tr)
 	res := cluster.CoreResult(tr, cres, time.Since(t0))
-	fmt.Fprintf(os.Stderr, "cluster: %d windows (%d remote, %d local) across %d peer(s) in %v\n",
-		cres.Windows, cres.Remote, cres.Local, len(peerList), time.Since(t0).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "cluster: %d windows (%d remote, %d local, %d cached) across %d peer(s) in %v\n",
+		cres.Windows, cres.Remote, cres.Local, cres.Cached, len(peerList), time.Since(t0).Round(time.Millisecond))
 	fmt.Print(serve.RenderTrace(res))
 	if res.OOM {
 		return 1

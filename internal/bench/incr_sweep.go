@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dcatch/internal/detect"
+	"dcatch/internal/hb"
+	"dcatch/internal/obs"
+	"dcatch/internal/scancache"
+	"dcatch/internal/stream"
+	"dcatch/internal/trace"
+)
+
+// The incremental re-analysis sweep (dcatch-bench -incr-sweep) measures the
+// content-addressed window-scan cache end to end: a SyntheticTraceBounded
+// trace is analyzed once with a persistent scan cache, a contiguous span of
+// K% of its records is mutated (the StaticIDs of the memory accesses are
+// rebased, the shape every re-traced code edit takes), and the mutated trace
+// is re-analyzed against the same cache directory. Only the windows whose
+// bytes changed are rescanned; every other window is served from disk. The
+// warm rerun is gated against an uncached run of the same mutated trace —
+// byte-identical report, and at K=1% a wall time at most IncrTargetRatio of
+// the cold wall. A second identical rerun must then hit on every window.
+
+// IncrBenchVersion is the BENCH_incr.json schema version.
+const IncrBenchVersion = 1
+
+// IncrTargetRatio is the headline gate: the warm rerun after a 1% mutation
+// must finish within this fraction of the uncached wall.
+const IncrTargetRatio = 0.25
+
+// IncrPoint is one mutation-percentage measurement.
+type IncrPoint struct {
+	MutatePct float64 `json:"mutate_pct"`
+
+	// DirtyWindows is how many windows the warm rerun actually rescanned
+	// (its cache misses); Windows is the total window count.
+	DirtyWindows int `json:"dirty_windows"`
+	Windows      int `json:"windows"`
+
+	// PopulateMs is the cache-on cold run over the base trace (analysis
+	// plus the cost of encoding and storing every window scan).
+	// ColdMs is the uncached run over the mutated trace — the baseline a
+	// user without the cache pays on every rerun. WarmMs is the rerun over
+	// the mutated trace against the populated cache directory; SecondMs is
+	// the rerun immediately after, when every window is cached.
+	PopulateMs float64 `json:"populate_ms"`
+	ColdMs     float64 `json:"cold_ms"`
+	WarmMs     float64 `json:"warm_ms"`
+	SecondMs   float64 `json:"second_ms"`
+
+	// WarmOverCold is WarmMs/ColdMs, the rerun cost as a fraction of a
+	// full re-analysis.
+	WarmOverCold float64 `json:"warm_over_cold"`
+
+	// Warm-run and second-run cache counters (disk hits count as hits;
+	// the in-memory tier starts empty in every run, so hits measure the
+	// persistent path).
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	SecondHits   int64 `json:"second_hits"`
+	SecondMisses int64 `json:"second_misses"`
+
+	// Identical asserts both the warm and the second report matched the
+	// uncached oracle byte for byte.
+	Identical bool `json:"reports_identical"`
+}
+
+// IncrBenchResult is BENCH_incr.json.
+type IncrBenchResult struct {
+	SchemaVersion int   `json:"incr_bench_version"`
+	Records       int   `json:"records"`
+	ChunkSize     int   `json:"chunk_size"`
+	Windows       int   `json:"windows"`
+	MemBudget     int64 `json:"mem_budget"`
+
+	Points []IncrPoint `json:"points"`
+
+	// Identical is the conjunction over all points. WarmOverColdAt1Pct is
+	// the headline ratio (0 when the sweep has no 1% point); Pass reports
+	// whether every gate held.
+	Identical          bool    `json:"reports_identical"`
+	WarmOverColdAt1Pct float64 `json:"warm_over_cold_at_1pct"`
+	TargetRatio        float64 `json:"target_ratio"`
+	Pass               bool    `json:"pass"`
+}
+
+// JSON renders the result for BENCH_incr.json.
+func (r *IncrBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// IncrMemBudget picks a reachability budget that forces the chunked path on
+// the full trace while leaving every window comfortable: four times the
+// largest per-window estimate, pulled under the full-build estimate if the
+// trace is too small for that margin. Estimates come from the same
+// admission predicate the analysis itself uses, so "forces chunking" is
+// exact, not heuristic.
+func IncrMemBudget(tr *trace.Trace, chunkSize int, cfg hb.Config) (int64, error) {
+	// estimate(t) = the smallest budget the full-build admission check
+	// accepts for t; FullBuildExceedsBudget is monotone in the budget.
+	estimate := func(t *trace.Trace) int64 {
+		lo, hi := int64(1), int64(1)<<40
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if hb.FullBuildExceedsBudget(t, hb.Config{ReachBackend: cfg.ReachBackend, MemBudget: mid}) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	full := estimate(tr)
+	var wmax int64
+	for _, wn := range hb.ChunkWindows(len(tr.Recs), chunkSize, 0) {
+		if est := estimate(tr.Window(wn[0], wn[1])); est > wmax {
+			wmax = est
+		}
+	}
+	budget := 4 * wmax
+	if budget >= full {
+		budget = wmax + (full-wmax)/2
+	}
+	if budget < wmax || budget >= full {
+		return 0, fmt.Errorf("bench: %d records in %d-record windows cannot force chunking (window estimate %d, full estimate %d)",
+			len(tr.Recs), chunkSize, wmax, full)
+	}
+	return budget, nil
+}
+
+// MutateTraceSpan returns a copy of tr with the StaticIDs of the memory
+// accesses in a contiguous span of pct% of the records (starting mid-trace)
+// rebased — the trace a rerun after a localized code edit produces: most
+// windows byte-identical, the edited region's windows changed.
+func MutateTraceSpan(tr *trace.Trace, pct float64) *trace.Trace {
+	cp := *tr
+	cp.Recs = append([]trace.Rec(nil), tr.Recs...)
+	n := len(cp.Recs)
+	count := int(float64(n) * pct / 100)
+	if pct > 0 && count == 0 {
+		count = 1
+	}
+	start := n / 2
+	if start+count > n {
+		count = n - start
+	}
+	for i := start; i < start+count; i++ {
+		if cp.Recs[i].IsMem() {
+			cp.Recs[i].StaticID += 1 << 20
+		}
+	}
+	return &cp
+}
+
+// incrAnalyze runs one chunked analysis (sc may be nil for the uncached
+// baseline) and returns the formatted report and the Finish wall time.
+func incrAnalyze(tr *trace.Trace, hcfg hb.Config, chunkSize int, sc *scancache.Cache) (string, time.Duration, error) {
+	an := stream.New(stream.Options{HB: hcfg, Detect: detect.Options{}, ChunkSize: chunkSize, Cache: sc})
+	an.AppendTrace(tr)
+	t0 := time.Now()
+	sr := an.Finish()
+	wall := time.Since(t0)
+	if sr.OOM {
+		return "", 0, fmt.Errorf("bench: incr analysis: %w", sr.Err)
+	}
+	if !sr.Chunked {
+		return "", 0, fmt.Errorf("bench: incr analysis did not take the chunked path (budget %d)", hcfg.MemBudget)
+	}
+	return sr.Report.Format(nil), wall, nil
+}
+
+// RunIncrSweep measures warm reruns at each mutation percentage and gates
+// them on byte identity with the uncached report, the headline
+// warm/cold ratio at 1%, and an all-hits second rerun. cacheDir is the
+// persistent cache root ("" = a temporary directory, removed afterwards);
+// each point gets its own subdirectory so points don't share entries.
+func RunIncrSweep(records, chunkSize int, mutatePcts []float64, seed int64, cacheDir string, logf func(string, ...any)) (*IncrBenchResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cacheDir == "" {
+		dir, err := os.MkdirTemp("", "dcatch-incr-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cacheDir = dir
+	}
+	tr := SyntheticTraceBounded(records, seed)
+	hcfg := hb.Config{ReachBackend: hb.BackendChain}
+	budget, err := IncrMemBudget(tr, chunkSize, hcfg)
+	if err != nil {
+		return nil, err
+	}
+	hcfg.MemBudget = budget
+	windows := len(hb.ChunkWindows(len(tr.Recs), chunkSize, 0))
+	logf("%d-record bounded trace, %d windows of %d records, budget %d bytes",
+		len(tr.Recs), windows, chunkSize, budget)
+
+	res := &IncrBenchResult{
+		SchemaVersion: IncrBenchVersion,
+		Records:       records,
+		ChunkSize:     chunkSize,
+		Windows:       windows,
+		MemBudget:     budget,
+		Identical:     true,
+		TargetRatio:   IncrTargetRatio,
+		Pass:          true,
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	for _, pct := range mutatePcts {
+		dir := filepath.Join(cacheDir, fmt.Sprintf("k%g", pct))
+		pt := IncrPoint{MutatePct: pct, Windows: windows, Identical: true}
+
+		// Populate: cache-on cold run over the base trace. Each run opens
+		// its own Cache over the shared directory so the in-memory tier
+		// starts empty and every later hit exercises the persistent path.
+		open := func(rec *obs.Recorder) (*scancache.Cache, error) {
+			return scancache.New(scancache.Config{Dir: dir, Obs: rec})
+		}
+		popCache, err := open(obs.New())
+		if err != nil {
+			return nil, err
+		}
+		if _, wall, err := incrAnalyze(tr, hcfg, chunkSize, popCache); err != nil {
+			return nil, err
+		} else {
+			pt.PopulateMs = ms(wall)
+		}
+
+		mut := MutateTraceSpan(tr, pct)
+		oracle, coldWall, err := incrAnalyze(mut, hcfg, chunkSize, nil)
+		if err != nil {
+			return nil, err
+		}
+		pt.ColdMs = ms(coldWall)
+
+		warmRec := obs.New()
+		warmCache, err := open(warmRec)
+		if err != nil {
+			return nil, err
+		}
+		warmRep, warmWall, err := incrAnalyze(mut, hcfg, chunkSize, warmCache)
+		if err != nil {
+			return nil, err
+		}
+		pt.WarmMs = ms(warmWall)
+		pt.WarmOverCold = pt.WarmMs / pt.ColdMs
+		pt.Hits = warmRec.Counters()["scancache.hits"]
+		pt.Misses = warmRec.Counters()["scancache.misses"]
+		pt.DirtyWindows = int(pt.Misses)
+
+		secondRec := obs.New()
+		secondCache, err := open(secondRec)
+		if err != nil {
+			return nil, err
+		}
+		secondRep, secondWall, err := incrAnalyze(mut, hcfg, chunkSize, secondCache)
+		if err != nil {
+			return nil, err
+		}
+		pt.SecondMs = ms(secondWall)
+		pt.SecondHits = secondRec.Counters()["scancache.hits"]
+		pt.SecondMisses = secondRec.Counters()["scancache.misses"]
+
+		pt.Identical = warmRep == oracle && secondRep == oracle
+		logf("mutate %g%%: %d/%d windows dirty, cold %.0fms, warm %.0fms (%.2fx), second %.0fms (%d hits / %d misses), identical=%v",
+			pct, pt.DirtyWindows, windows, pt.ColdMs, pt.WarmMs, pt.WarmOverCold, pt.SecondMs, pt.SecondHits, pt.SecondMisses, pt.Identical)
+
+		res.Identical = res.Identical && pt.Identical
+		if pt.SecondMisses != 0 {
+			res.Pass = false
+		}
+		if pct == 1 {
+			res.WarmOverColdAt1Pct = pt.WarmOverCold
+			if pt.WarmOverCold > IncrTargetRatio {
+				res.Pass = false
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	if !res.Identical {
+		res.Pass = false
+		return res, fmt.Errorf("bench: a cached report diverged from the uncached oracle")
+	}
+	if !res.Pass {
+		return res, fmt.Errorf("bench: incremental gate failed: warm/cold at 1%% = %.2f (target <= %.2f) or a second rerun missed",
+			res.WarmOverColdAt1Pct, IncrTargetRatio)
+	}
+	return res, nil
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"dcatch/internal/hb"
+)
+
+// A miniature incremental sweep must pass its own gates: byte-identical
+// reports, dirty windows scaling with the mutation size, and an all-hit
+// second rerun.
+func TestIncrSweepSmall(t *testing.T) {
+	res, err := RunIncrSweep(30_000, 5_000, []float64{0, 10}, 7, t.TempDir(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical || !res.Pass {
+		t.Fatalf("identical=%v pass=%v", res.Identical, res.Pass)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	p0, p10 := res.Points[0], res.Points[1]
+	if p0.DirtyWindows != 0 {
+		t.Errorf("0%% mutation rescanned %d windows", p0.DirtyWindows)
+	}
+	if p10.DirtyWindows == 0 || p10.DirtyWindows >= res.Windows {
+		t.Errorf("10%% mutation rescanned %d of %d windows", p10.DirtyWindows, res.Windows)
+	}
+	for _, pt := range res.Points {
+		if pt.SecondMisses != 0 || pt.SecondHits != int64(res.Windows) {
+			t.Errorf("mutate %g%%: second rerun %d hits / %d misses, want %d / 0",
+				pt.MutatePct, pt.SecondHits, pt.SecondMisses, res.Windows)
+		}
+	}
+}
+
+// MutateTraceSpan must leave the original untouched and change only the
+// span's memory accesses.
+func TestMutateTraceSpan(t *testing.T) {
+	tr := SyntheticTraceBounded(2_000, 3)
+	base := tr.Encode()
+	mut := MutateTraceSpan(tr, 5)
+	if string(tr.Encode()) != string(base) {
+		t.Fatal("mutation modified the original trace")
+	}
+	if string(mut.Encode()) == string(base) {
+		t.Fatal("mutation did not change the trace bytes")
+	}
+	diff := 0
+	for i := range tr.Recs {
+		if tr.Recs[i].StaticID != mut.Recs[i].StaticID {
+			if !tr.Recs[i].IsMem() {
+				t.Fatalf("record %d: non-memory record mutated", i)
+			}
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("no StaticIDs changed")
+	}
+	// ChunkWindows boundary sanity for the sweep's window accounting.
+	if got := len(hb.ChunkWindows(len(tr.Recs), 5_000, 0)); got != 1 {
+		t.Fatalf("2000 records in 5000-record windows: %d windows, want 1", got)
+	}
+}

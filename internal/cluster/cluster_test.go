@@ -163,6 +163,98 @@ func TestWorkerDiesMidJob(t *testing.T) {
 	}
 }
 
+// TestPeerProbationRecovery kills the only worker mid-job and restarts it
+// after the probation deadline: windows dispatched during the outage fall
+// back to local scans, the first window after the restart answers the
+// probation probe, and every later window — including the Finish tail —
+// goes remote again. The report must match the single-node chunked oracle
+// throughout.
+func TestPeerProbationRecovery(t *testing.T) {
+	tr := racyTrace(2600)
+	const chunk = 500
+	want := oracle(t, tr, chunk)
+
+	worker := NewWorker(WorkerConfig{Scans: 2})
+	var served atomic.Int32
+	var dead atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+ScanPath, func(rw http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		if dead.Load() {
+			panic(http.ErrAbortHandler) // "killed": connection dropped
+		}
+		worker.ServeHTTP(rw, r)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	rec := obs.New()
+	coord, err := NewCoordinator(Config{
+		Peers:     []string{ts.URL},
+		ChunkSize: chunk,
+		// One slot per peer keeps dispatch serial, so exactly one window
+		// probes the restarted worker and recovery is deterministic.
+		InFlight:     1,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   2 * time.Millisecond,
+		Probation:    50 * time.Millisecond,
+		Obs:          rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := func(n int) *trace.Trace {
+		return &trace.Trace{Program: tr.Program, Recs: tr.Recs[:n], QueueConsumers: tr.QueueConsumers}
+	}
+	wait := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s; counters %v", what, rec.Counters())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Healthy phase: the first two windows fill and scan remotely.
+	coord.Notify(prefix(1000))
+	wait(func() bool { return served.Load() >= 2 }, "two remote scans")
+
+	// Outage: the next two windows hit a dead worker. Three consecutive
+	// failures mark the peer down; both windows fall back local.
+	dead.Store(true)
+	coord.Notify(prefix(1800))
+	wait(func() bool { return rec.Counters()["cluster.peers.down"] == 1 }, "peer marked down")
+
+	// Restart after the probation deadline: the next window's task is
+	// allowed to probe, the probe answers, and remote dispatch resumes.
+	time.Sleep(60 * time.Millisecond)
+	dead.Store(false)
+	coord.Notify(prefix(2600))
+	res := coord.Finish(tr)
+
+	if res.OOM {
+		t.Fatalf("unexpected OOM: %v", res.Err)
+	}
+	if got := res.Report.Format(nil); got != want {
+		t.Fatalf("report changed across kill/restart:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	ctr := rec.Counters()
+	if ctr["cluster.peers.down"] != 1 || ctr["cluster.peers.recovered"] != 1 {
+		t.Errorf("down=%d recovered=%d, want 1/1", ctr["cluster.peers.down"], ctr["cluster.peers.recovered"])
+	}
+	if res.Local != 2 {
+		t.Errorf("local=%d, want exactly the 2 outage windows", res.Local)
+	}
+	if res.Remote != res.Windows-2 {
+		t.Errorf("remote=%d of %d windows: remote dispatch did not resume after recovery", res.Remote, res.Windows)
+	}
+	if ctr["cluster.windows.remote"] != int64(res.Remote) {
+		t.Errorf("cluster.windows.remote=%d, result remote=%d", ctr["cluster.windows.remote"], res.Remote)
+	}
+}
+
 // TestBusyRetrySucceeds answers the first two attempts 429; the coordinator
 // must back off and retry on the same peer without local fallback.
 func TestBusyRetrySucceeds(t *testing.T) {

@@ -18,6 +18,7 @@ import (
 	"dcatch/internal/detect"
 	"dcatch/internal/hb"
 	"dcatch/internal/obs"
+	"dcatch/internal/scancache"
 	"dcatch/internal/trace"
 )
 
@@ -55,6 +56,19 @@ type Config struct {
 	// RequestTimeout bounds one scan RPC (default 2m).
 	RequestTimeout time.Duration
 
+	// Probation is the initial delay before a peer marked down is probed
+	// with a live window again (default 250ms, doubling per failed probe
+	// up to 16x). A restarted worker rejoins the job at the next probe
+	// instead of staying down until Finish.
+	Probation time.Duration
+
+	// Cache, when non-nil, memoizes window scans: a window whose segment
+	// bytes and wire options match a cached entry is answered without any
+	// dispatch, and every successful remote or local scan populates the
+	// cache. The value is the worker's canonical DCWS reply, so cached and
+	// fresh replies are indistinguishable by construction.
+	Cache *scancache.Cache
+
 	// Client is the HTTP client for peer calls (default http.DefaultClient
 	// semantics with no global timeout; per-request contexts apply).
 	Client *http.Client
@@ -75,10 +89,12 @@ type Result struct {
 	OOM bool
 	Err error
 	// Windows counts the job's windows; Remote of them were scanned by
-	// peers, Local were re-run by the coordinator after remote failure.
+	// peers, Local were re-run by the coordinator after remote failure,
+	// and Cached were answered from the scan cache without any dispatch.
 	Windows int
 	Remote  int
 	Local   int
+	Cached  int
 	// Backend names the first window's reachability backend and
 	// PeakMemBytes the largest per-window closure footprint.
 	Backend      string
@@ -96,6 +112,8 @@ type task struct {
 	index      int
 	start, end int
 	body       []byte
+	key        scancache.Key
+	useCache   bool
 	out        chan scanOut
 }
 
@@ -104,6 +122,7 @@ type scanOut struct {
 	mem     int64
 	backend string
 	remote  bool
+	cached  bool
 	err     error
 }
 
@@ -112,6 +131,63 @@ type peer struct {
 	queue chan task
 	fails atomic.Int32
 	down  atomic.Bool
+
+	// Probation state: while down, one task at a time may probe the peer
+	// with its live window once the backoff deadline passes; a successful
+	// probe (any live answer, even a 429) recovers the peer, a failed one
+	// doubles the wait.
+	mu        sync.Mutex
+	probeAt   time.Time
+	probeWait time.Duration
+	probing   bool
+}
+
+// markDown flips the peer down and schedules the first probation probe.
+// Returns false if the peer was already down.
+func (p *peer) markDown(initial time.Duration) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down.Load() {
+		return false
+	}
+	p.probeWait = initial
+	p.probeAt = time.Now().Add(initial)
+	p.probing = false
+	p.down.Store(true)
+	return true
+}
+
+// allowProbe reports whether the calling task may probe the down peer now;
+// at most one probe is in flight at a time.
+func (p *peer) allowProbe() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.down.Load() || p.probing || time.Now().Before(p.probeAt) {
+		return false
+	}
+	p.probing = true
+	return true
+}
+
+// probeFailed reschedules the next probe with a doubled, bounded wait.
+func (p *peer) probeFailed(initial time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.probing = false
+	p.probeWait *= 2
+	if max := 16 * initial; p.probeWait > max {
+		p.probeWait = max
+	}
+	p.probeAt = time.Now().Add(p.probeWait)
+}
+
+// recovered clears the down state after a successful probe.
+func (p *peer) recovered() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.probing = false
+	p.fails.Store(0)
+	p.down.Store(false)
 }
 
 // Coordinator drives one trace job across the configured peers. It is used
@@ -135,7 +211,11 @@ type Coordinator struct {
 	start    int // open window's start
 	windows  [][2]int
 	outs     []chan scanOut
+	keys     []scancache.Key // per-window cache keys (zero when !cached)
 	finished bool
+
+	spec   scancache.Spec
+	cached bool
 }
 
 // NewCoordinator validates the config and starts the per-peer senders.
@@ -148,6 +228,11 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.HB.DisableEvent || cfg.HB.DisableRPC || cfg.HB.DisableSocket || cfg.HB.DisablePush || len(cfg.HB.LoopReads) > 0 {
 		return nil, fmt.Errorf("cluster: HB rule ablations and LoopReads are not supported in cluster mode")
+	}
+	if cfg.Detect.SuppressPull {
+		// Not wire-expressible: workers would scan without it while the
+		// local fallback applied it, splitting the report.
+		return nil, fmt.Errorf("cluster: Detect.SuppressPull is not supported in cluster mode")
 	}
 	if cfg.InFlight <= 0 {
 		cfg.InFlight = 2
@@ -163,6 +248,9 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 2 * time.Minute
+	}
+	if cfg.Probation <= 0 {
+		cfg.Probation = 250 * time.Millisecond
 	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
@@ -190,6 +278,11 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if c.logf == nil {
 		c.logf = func(string, ...any) {}
 	}
+	if cfg.Cache != nil {
+		// The rejections above guarantee the options are wire-expressible,
+		// so SpecFor cannot fail here; the check is defensive.
+		c.spec, c.cached = scancache.SpecFor(cfg.HB, cfg.Detect)
+	}
 	for _, p := range cfg.Peers {
 		base := strings.TrimRight(strings.TrimSpace(p), "/")
 		u, err := url.Parse(base)
@@ -209,9 +302,9 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 // Notify dispatches every window that has filled within the first n records
 // of tr — the streaming restatement of hb.ChunkWindows' loop, called from
 // the ingest path as segments arrive. tr may still be growing: only the
-// decoded prefix is touched, and each window's segment is encoded before
-// Notify returns, so later appends (or backing-array reallocation) cannot
-// race the dispatch. Enqueueing blocks once the assigned peer's bounded
+// decoded prefix is touched, and each window's segment is keyed and (on a
+// cache miss) encoded before Notify returns, so later appends (or
+// backing-array reallocation) cannot race the dispatch. Enqueueing blocks once the assigned peer's bounded
 // queue is full, which backpressures ingest instead of buffering the whole
 // trace in flight.
 func (c *Coordinator) Notify(tr *trace.Trace) {
@@ -227,9 +320,29 @@ func (c *Coordinator) dispatch(tr *trace.Trace, start, end int) {
 	out := make(chan scanOut, 1)
 	c.windows = append(c.windows, [2]int{start, end})
 	c.outs = append(c.outs, out)
-	body := tr.Window(start, end).Encode()
+	var key scancache.Key
+	if c.cached {
+		key = c.spec.KeyTrace(tr.Window(start, end))
+	}
+	c.keys = append(c.keys, key)
+	if c.cached {
+		// The key is a field hash over the window's records, so the lookup
+		// skips segment encoding entirely. A hit answers the window right
+		// here: nothing ships to a peer, and a resubmitted trace with 1%
+		// changed records sends only its dirty windows over the wire.
+		if ent, ok := c.cfg.Cache.Get(key); ok {
+			if ws, err := detect.DecodeWindowScan(ent.Payload); err == nil {
+				c.rec.Count("cluster.windows.cached", 1)
+				out <- scanOut{ws: ws, mem: ent.MemBytes, backend: ent.Backend, cached: true}
+				return
+			}
+			c.cfg.Cache.Discard(key)
+		}
+	}
 	c.rec.Count("cluster.windows.dispatched", 1)
-	c.peers[i%len(c.peers)].queue <- task{index: i, start: start, end: end, body: body, out: out}
+	body := tr.Window(start, end).Encode()
+	c.peers[i%len(c.peers)].queue <- task{index: i, start: start, end: end, body: body,
+		key: key, useCache: c.cached, out: out}
 }
 
 func (c *Coordinator) closeQueues() {
@@ -277,6 +390,15 @@ func (c *Coordinator) Finish(tr *trace.Trace) *Result {
 			c.logf("cluster: window %d [%d,%d): remote scan failed (%v); re-running locally",
 				i, wn[0], wn[1], out.err)
 			out = c.scanLocal(tr, wn, sp)
+			if out.err == nil && c.cached {
+				// Encode before Merge below rebases the scan in place.
+				c.cfg.Cache.Put(c.keys[i], scancache.Entry{
+					Payload:  out.ws.Encode(),
+					Backend:  out.backend,
+					MemBytes: out.mem,
+					Records:  wn[1] - wn[0],
+				})
+			}
 		}
 		if out.err != nil {
 			// First failure wins and later windows are skipped — the same
@@ -287,10 +409,13 @@ func (c *Coordinator) Finish(tr *trace.Trace) *Result {
 			}
 			continue
 		}
-		if out.remote {
+		switch {
+		case out.cached:
+			res.Cached++
+		case out.remote:
 			res.Remote++
 			c.rec.Count("cluster.windows.remote", 1)
-		} else {
+		default:
 			res.Local++
 		}
 		if res.Backend == "" {
@@ -310,6 +435,7 @@ func (c *Coordinator) Finish(tr *trace.Trace) *Result {
 	res.Report = merger.Report()
 	sp.Attr("remote_windows", res.Remote)
 	sp.Attr("local_windows", res.Local)
+	sp.Attr("cached_windows", res.Cached)
 	sp.End()
 	return res
 }
@@ -348,6 +474,10 @@ func (c *Coordinator) peerLoop(p *peer) {
 // again without counting against peer health. Anything else — transport
 // errors, 5xx, an undecodable reply — is a hard failure; peerDownAfter of
 // those in a row mark the peer down and its remaining windows fail fast.
+// A down peer is not down forever: once the probation deadline passes, one
+// task at a time probes it with its live window — any answer (even a 429)
+// recovers the peer, a failed probe doubles the wait — so a restarted
+// worker rejoins the job mid-flight.
 func (c *Coordinator) scanRemote(p *peer, t task) scanOut {
 	sp := c.rec.Span("cluster.scan")
 	sp.Attr("peer", p.base)
@@ -359,13 +489,33 @@ func (c *Coordinator) scanRemote(p *peer, t task) scanOut {
 	u := p.base + ScanPath + "?" + req.query().Encode()
 	backoff := c.cfg.RetryBackoff
 	var lastErr error
+	probing := false
+	endProbe := func(alive bool) {
+		if !probing {
+			return
+		}
+		probing = false
+		if alive {
+			p.recovered()
+			c.rec.Count("cluster.peers.recovered", 1)
+			c.logf("cluster: peer %s answered its probation probe; resuming remote dispatch", p.base)
+		} else {
+			p.probeFailed(c.cfg.Probation)
+		}
+	}
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
 		if c.aborted.Load() {
+			endProbe(false)
 			return scanOut{err: errClosed}
 		}
-		if p.down.Load() {
-			lastErr = fmt.Errorf("cluster: peer %s is down", p.base)
-			break
+		if p.down.Load() && !probing {
+			if p.allowProbe() {
+				probing = true
+				c.rec.Count("cluster.peers.probes", 1)
+			} else {
+				lastErr = fmt.Errorf("cluster: peer %s is down", p.base)
+				break
+			}
 		}
 		if attempt > 0 {
 			time.Sleep(backoff)
@@ -376,20 +526,28 @@ func (c *Coordinator) scanRemote(p *peer, t task) scanOut {
 		}
 		out, busy, err := c.attempt(u, t)
 		if err == nil {
+			endProbe(true)
 			p.fails.Store(0)
 			sp.Attr("attempts", attempt+1)
 			return out
 		}
 		lastErr = err
 		if busy {
+			endProbe(true) // the peer answered: alive, just saturated
 			c.rec.Count("cluster.retries.busy", 1)
 			continue
 		}
+		if probing {
+			// Still dead: reschedule and fall back without burning the
+			// remaining retries against it.
+			endProbe(false)
+			break
+		}
 		c.rec.Count("cluster.peer_failures", 1)
-		if p.fails.Add(1) == peerDownAfter && !p.down.Swap(true) {
+		if p.fails.Add(1) >= peerDownAfter && p.markDown(c.cfg.Probation) {
 			c.rec.Count("cluster.peers.down", 1)
-			c.logf("cluster: peer %s marked down after %d consecutive failures (%v)",
-				p.base, peerDownAfter, err)
+			c.logf("cluster: peer %s marked down after %d consecutive failures (%v); probing again in %v",
+				p.base, peerDownAfter, err, c.cfg.Probation)
 		}
 	}
 	sp.Attr("failed", true)
@@ -428,6 +586,16 @@ func (c *Coordinator) attempt(u string, t task) (scanOut, bool, error) {
 		return scanOut{}, false, err
 	}
 	mem, _ := strconv.ParseInt(resp.Header.Get(headerMemBytes), 10, 64)
+	if t.useCache {
+		// The reply body IS the canonical DCWS payload — store it verbatim
+		// so the next job with this segment skips the wire entirely.
+		c.cfg.Cache.Put(t.key, scancache.Entry{
+			Payload:  body,
+			Backend:  resp.Header.Get(headerBackend),
+			MemBytes: mem,
+			Records:  t.end - t.start,
+		})
+	}
 	c.rec.Observe("cluster.scan_rtt_us", time.Since(t0).Microseconds())
 	return scanOut{ws: ws, mem: mem, backend: resp.Header.Get(headerBackend), remote: true}, false, nil
 }

@@ -10,6 +10,7 @@ import (
 	"dcatch/internal/hb"
 	"dcatch/internal/lifecycle"
 	"dcatch/internal/obs"
+	"dcatch/internal/scancache"
 	"dcatch/internal/trace"
 )
 
@@ -41,6 +42,12 @@ type WorkerConfig struct {
 
 	// Obs receives cluster.worker.* counters, histograms and spans.
 	Obs *obs.Recorder
+
+	// Cache, when non-nil, memoizes window scans across jobs and
+	// coordinators: a request whose window records and wire options match a
+	// cached entry is answered from the cache without charging a scan slot
+	// or the admission gate, and every fresh scan populates the cache.
+	Cache *scancache.Cache
 }
 
 // Worker is the http.Handler serving ScanPath: it decodes its assigned
@@ -80,6 +87,10 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 		}
 		defer w.cfg.Drain.Exit()
 	}
+	if w.cfg.Cache != nil {
+		w.serveCached(rw, r)
+		return
+	}
 	select {
 	case w.sem <- struct{}{}:
 		defer func() { <-w.sem }()
@@ -112,7 +123,83 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, fmt.Sprintf("cluster: bad segment: %v", err), http.StatusBadRequest)
 		return
 	}
+	w.scanReply(rw, req, hcfg, dopts, tr)
+}
 
+// serveCached is the scan path when a window-scan cache is configured. The
+// request body is decoded up front so the cache key — a field hash of the
+// window's records, the same key the coordinator derives from its window
+// sub-trace — can be computed before any scan slot is charged: a hit
+// replies immediately even on a fully busy worker, and a miss proceeds
+// through the same slot/admission/build/scan flow as the uncached path,
+// populating the cache on the way out. A cached payload the decoder
+// rejects is discarded, never shipped.
+func (w *Worker) serveCached(rw http.ResponseWriter, r *http.Request) {
+	req, err := parseScanRequest(r.URL.Query())
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	hcfg, dopts, err := req.scanConfigs()
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	tr, err := trace.Decode(http.MaxBytesReader(rw, r.Body, w.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(rw, fmt.Sprintf("cluster: bad segment: %v", err), http.StatusBadRequest)
+		return
+	}
+	spec, cacheable := scancache.SpecFor(hcfg, dopts)
+	var key scancache.Key
+	if cacheable {
+		key = spec.KeyTrace(tr)
+		if ent, hit := w.cfg.Cache.Get(key); hit {
+			if _, derr := detect.DecodeWindowScan(ent.Payload); derr != nil {
+				w.cfg.Cache.Discard(key)
+			} else {
+				w.cfg.Obs.Count("cluster.worker.cache_hits", 1)
+				rw.Header().Set("Content-Type", "application/octet-stream")
+				rw.Header().Set(headerBackend, ent.Backend)
+				rw.Header().Set(headerMemBytes, fmt.Sprint(ent.MemBytes))
+				rw.Header().Set(headerRecords, fmt.Sprint(ent.Records))
+				rw.Write(ent.Payload)
+				return
+			}
+		}
+	}
+	select {
+	case w.sem <- struct{}{}:
+		defer func() { <-w.sem }()
+	default:
+		w.busy(rw, "cluster.worker.rejected_busy")
+		return
+	}
+	if w.cfg.Admit != nil {
+		ctx, cancel := context.WithTimeout(r.Context(), w.cfg.AdmitTimeout)
+		release, err := w.cfg.Admit(ctx, req.MemBudget)
+		cancel()
+		if err != nil {
+			w.busy(rw, "cluster.worker.rejected_admission")
+			return
+		}
+		defer release()
+	}
+	enc, g := w.scanReply(rw, req, hcfg, dopts, tr)
+	if cacheable && enc != nil {
+		w.cfg.Cache.Put(key, scancache.Entry{
+			Payload:  enc,
+			Backend:  g.Backend().String(),
+			MemBytes: g.MemBytes(),
+			Records:  len(tr.Recs),
+		})
+	}
+}
+
+// scanReply builds the window's HB graph, runs the detection scan, and
+// replies with the canonical encoded scan. It returns the encoding and the
+// graph (nil, nil when the build failed and the error reply was sent).
+func (w *Worker) scanReply(rw http.ResponseWriter, req ScanRequest, hcfg hb.Config, dopts detect.Options, tr *trace.Trace) ([]byte, *hb.Graph) {
 	t0 := time.Now()
 	sp := w.cfg.Obs.Span("cluster.worker.scan")
 	sp.Attr("window", req.Window)
@@ -127,7 +214,7 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 		// window will fail there too and surface as the job's OOM result,
 		// exactly as the single-node chunked path reports it.
 		http.Error(rw, fmt.Sprintf("cluster: window scan failed: %v", err), http.StatusInternalServerError)
-		return
+		return nil, nil
 	}
 	ws := detect.ScanGraph(g, dopts)
 	sp.Attr("backend", g.Backend().String())
@@ -137,9 +224,11 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 	w.cfg.Obs.Count("cluster.worker.records", int64(len(tr.Recs)))
 	w.cfg.Obs.Observe("cluster.worker.scan_us", time.Since(t0).Microseconds())
 
+	enc := ws.Encode()
 	rw.Header().Set("Content-Type", "application/octet-stream")
 	rw.Header().Set(headerBackend, g.Backend().String())
 	rw.Header().Set(headerMemBytes, fmt.Sprint(g.MemBytes()))
 	rw.Header().Set(headerRecords, fmt.Sprint(len(tr.Recs)))
-	rw.Write(ws.Encode())
+	rw.Write(enc)
+	return enc, g
 }

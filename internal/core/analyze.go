@@ -31,7 +31,7 @@ func AnalyzeTrace(tr *trace.Trace, opts Options) (*Result, error) {
 	// same bytes at a bounded transient footprint.
 	an := stream.New(stream.Options{
 		HB: opts.HB, Detect: opts.Detect, ChunkSize: opts.ChunkSize,
-		Logf: opts.Obs.Logf,
+		Logf: opts.Obs.Logf, Cache: opts.ScanCache,
 	})
 	an.AppendTrace(tr)
 	return AnalyzeStreamed(an, opts)

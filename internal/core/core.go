@@ -22,6 +22,8 @@ import (
 	"dcatch/internal/hb"
 	"dcatch/internal/obs"
 	"dcatch/internal/rt"
+	"dcatch/internal/scancache"
+	"dcatch/internal/stream"
 	"dcatch/internal/trace"
 	"dcatch/internal/trigger"
 )
@@ -50,6 +52,12 @@ type Options struct {
 	// records instead of reporting OOM. Cross-window candidates are
 	// missed — the approach's documented trade-off.
 	ChunkSize int
+
+	// ScanCache, when non-nil, memoizes per-window scans on the chunked
+	// fallback and streaming paths: windows whose record bytes and
+	// wire-expressible options match a cached entry skip their build and
+	// scan. Reports are byte-identical with or without it.
+	ScanCache *scancache.Cache
 
 	// Detect tunes candidate enumeration.
 	Detect detect.Options
@@ -220,27 +228,36 @@ func Detect(w *rt.Workload, opts Options) (*Result, error) {
 			rec.Logf("trace analysis: OUT OF MEMORY (%v)", err)
 			return res, nil
 		}
-		// Chunked fallback (§7.2): analyze window by window.
+		// Chunked fallback (§7.2): analyze window by window through the
+		// shared stream window engine — the same build/scan/merge code the
+		// streaming and cluster paths run (byte-identical to the old
+		// hb.BuildChunked + detect.FindChunked by its documented
+		// contract), with the scan cache consulted per window when
+		// configured.
 		rec.Logf("trace analysis: budget exceeded, falling back to %d-record windows", opts.ChunkSize)
-		chunks, cerr := hb.BuildChunked(res.Trace, hb.ChunkConfig{Base: cfg, ChunkSize: opts.ChunkSize})
-		if cerr != nil {
+		wan := stream.New(stream.Options{
+			HB: cfg, Detect: dopt,
+			ChunkSize: opts.ChunkSize, ChunkOverlap: 0,
+			Cache: opts.ScanCache,
+		})
+		wan.AppendTrace(res.Trace)
+		wres := wan.Finish()
+		if wres.OOM {
 			res.OOM = true
 			res.Stats.AnalysisTime = time.Since(t0)
 			sp.Attr("oom", true)
 			sp.End()
-			rec.Logf("chunked analysis: OUT OF MEMORY (%v)", cerr)
+			rec.Logf("chunked analysis: OUT OF MEMORY (%v)", wres.Err)
 			return res, nil
 		}
 		res.Chunked = true
-		res.TA = detect.FindChunked(chunks, dopt)
+		res.TA = wres.Report
 		res.Stats.TAStatic = res.TA.StaticCount()
 		res.Stats.TACallstack = res.TA.CallstackCount()
 		res.Stats.AnalysisTime = time.Since(t0)
 		res.Stats.HBVertices = len(res.Trace.Recs)
-		res.Stats.HBMemBytes = hb.ChunkedMemBytes(chunks)
-		if len(chunks) > 0 {
-			res.Stats.ReachBackend = chunks[0].Graph.Backend().String()
-		}
+		res.Stats.HBMemBytes = wres.HBMemBytes
+		res.Stats.ReachBackend = wres.Backend
 		sp.Attr("chunked", true)
 		sp.End()
 		res.countStage(rec, "ta", res.TA)

@@ -45,6 +45,12 @@ import (
 // a forged or fuzzed payload errors out instead of allocating or merging
 // garbage.
 
+// WindowScanVersion is the DCWS format version. Cache keys that store
+// encoded scans (internal/scancache) fold it into the hash so a format
+// bump invalidates every stale entry instead of tripping the hardened
+// decoder at load time.
+const WindowScanVersion = scanVersion
+
 const (
 	scanMagic   = "DCWS"
 	scanVersion = 1

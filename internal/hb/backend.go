@@ -1,6 +1,10 @@
 package hb
 
-import "fmt"
+import (
+	"fmt"
+
+	"dcatch/internal/trace"
+)
 
 // Backend selects the reachability representation the closure materializes.
 //
@@ -57,6 +61,18 @@ func ParseBackend(s string) (Backend, error) {
 func DenseReachBytes(n int) int64 {
 	words := int64((n + 63) / 64)
 	return words * 8 * int64(n)
+}
+
+// FullBuildExceedsBudget reports whether an unchunked Build over tr with
+// cfg would be refused by the up-front admission check — i.e. whether a
+// pipeline with chunking enabled will take the windowed path. It runs the
+// same resolveBackend logic Build runs before constructing any edges
+// (O(1) for dense, one O(n) chain-assignment pass otherwise), so callers
+// that need to know the window shape in advance — the serve layer keys
+// whole-report cache entries on it — get exactly Build's decision.
+func FullBuildExceedsBudget(tr *trace.Trace, cfg Config) bool {
+	g := &Graph{Tr: tr, cfg: cfg}
+	return g.resolveBackend() != nil
 }
 
 // resolveBackend fixes the backend the closure will use and performs the

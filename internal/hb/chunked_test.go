@@ -36,6 +36,60 @@ func TestBuildChunkedCoversTrace(t *testing.T) {
 	}
 }
 
+// TestChunkWindowsBoundaries pins the window arithmetic every consumer of
+// ChunkWindows — batch chunking, the stream window engines, the cluster
+// coordinator, and the scan cache's per-window keys — relies on agreeing
+// about.
+func TestChunkWindowsBoundaries(t *testing.T) {
+	cases := []struct {
+		name             string
+		n, size, overlap int
+		want             [][2]int
+	}{
+		// A trace shorter than one window is still one window: the cache
+		// must key the tail exactly as the batch path scans it.
+		{"ShorterThanWindow", 7, 100, 10, [][2]int{{0, 7}}},
+		{"ExactlyOneWindow", 100, 100, 10, [][2]int{{0, 100}}},
+		// Zero records still produce one empty window, so every path emits
+		// a (trivial) scan instead of special-casing emptiness.
+		{"ZeroRecords", 0, 100, 10, [][2]int{{0, 0}}},
+		// overlap >= size is clamped to size-1: stride 1, never an infinite
+		// loop or a zero-length stride.
+		{"OverlapEqualsSize", 5, 3, 3, [][2]int{{0, 3}, {1, 4}, {2, 5}}},
+		{"OverlapExceedsSize", 5, 3, 7, [][2]int{{0, 3}, {1, 4}, {2, 5}}},
+		// overlap <= 0 defaults to size/4.
+		{"DefaultOverlap", 200, 100, 0, [][2]int{{0, 100}, {75, 175}, {150, 200}}},
+		// An exact multiple of the stride must not emit a zero-length tail.
+		{"ExactStrideMultiple", 175, 100, 25, [][2]int{{0, 100}, {75, 175}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ChunkWindows(tc.n, tc.size, tc.overlap)
+			if len(got) != len(tc.want) {
+				t.Fatalf("ChunkWindows(%d,%d,%d) = %v, want %v", tc.n, tc.size, tc.overlap, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("ChunkWindows(%d,%d,%d) = %v, want %v", tc.n, tc.size, tc.overlap, got, tc.want)
+				}
+			}
+			// Invariants every consumer assumes: full coverage in order,
+			// the last window ends at n, and no window is out of range.
+			if got[0][0] != 0 || got[len(got)-1][1] != tc.n {
+				t.Fatalf("windows %v do not span [0,%d]", got, tc.n)
+			}
+			for i, w := range got {
+				if w[0] > w[1] || w[1] > tc.n {
+					t.Fatalf("window %d = %v out of range", i, w)
+				}
+				if i > 0 && w[0] >= got[i-1][1] && tc.n > 0 {
+					t.Fatalf("gap between windows %v and %v", got[i-1], w)
+				}
+			}
+		})
+	}
+}
+
 func TestChunkedSoundWithinWindow(t *testing.T) {
 	// Within a window, chunked HB must agree with the full graph for
 	// ordered pairs whose causal chain lies inside the window; and it

@@ -38,6 +38,7 @@ func (s *Server) submitTraceCluster(body io.Reader, jopt JobOptions) (*job, erro
 		Detect:    opts.Detect,
 		Obs:       tel.rec,
 		Logf:      tel.rec.Logf,
+		Cache:     s.cfg.ScanCache,
 	})
 	if err != nil {
 		return nil, err
@@ -91,12 +92,12 @@ func (s *Server) submitTraceCluster(body io.Reader, jopt JobOptions) (*job, erro
 		t0 := time.Now()
 		cres := coord.Finish(tr)
 		res := cluster.CoreResult(tr, cres, time.Since(t0))
-		tel.rec.Logf("cluster: %d windows (%d remote, %d local) across %d peers",
-			cres.Windows, cres.Remote, cres.Local, len(s.cfg.Peers))
+		tel.rec.Logf("cluster: %d windows (%d remote, %d local, %d cached) across %d peers",
+			cres.Windows, cres.Remote, cres.Local, cres.Cached, len(s.cfg.Peers))
 		stats := res.Stats
 		return &jobResult{report: []byte(RenderTrace(res)), summary: res.Summary(), stats: &stats, oom: res.OOM}, nil
 	}
-	key := clusterCacheKey(h.Sum(nil), jopt)
+	key := chunkedTraceCacheKey(h.Sum(nil), jopt)
 	j, err := s.mgr.submit(KindTrace, tr.Program, key, jopt.MemBudget, tel, run)
 	if err != nil {
 		coord.Close()
@@ -133,13 +134,16 @@ func (s *Server) admitScan(ctx context.Context, need int64) (func(), error) {
 	return func() { s.mgr.mem.release(need) }, nil
 }
 
-// clusterCacheKey is the content address of a coordinated trace job. It is
-// deliberately distinct from traceCacheKey: a coordinated job always chunks
-// (at the jopt.ChunkSize the coordinator resolved), while a single-node job
-// with the same bytes and options chunks only when the full build exceeds
-// its budget — the two can legitimately render different reports.
-func clusterCacheKey(bodySHA []byte, o JobOptions) string {
+// chunkedTraceCacheKey is the content address of a trace job that takes the
+// windowed path — a coordinated cluster job (which always chunks at the
+// jopt.ChunkSize the coordinator resolved) or a single-node job whose full
+// build provably exceeds its budget (hb.FullBuildExceedsBudget, the same
+// deterministic admission check hb.Build runs). Both produce byte-identical
+// reports over the same bytes and options, so they share one whole-report
+// entry; a single-node job that will NOT chunk keeps the distinct
+// traceCacheKey, because its unchunked report can legitimately differ.
+func chunkedTraceCacheKey(bodySHA []byte, o JobOptions) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "cluster|%x|%s", bodySHA, optionsKey(o))
+	fmt.Fprintf(h, "trace-chunked|%x|%s", bodySHA, optionsKey(o))
 	return hex.EncodeToString(h.Sum(nil))
 }

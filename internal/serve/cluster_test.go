@@ -147,6 +147,63 @@ func TestClusterCacheHit(t *testing.T) {
 	}
 }
 
+// TestClusterSingleNodeCacheUnified: a single-node job forced onto the
+// chunked path and a cluster job over the same bytes and options produce
+// byte-identical reports, so they share one whole-report cache entry — a
+// run on either topology must be served from a cache populated by the
+// other, in both directions.
+func TestClusterSingleNodeCacheUnified(t *testing.T) {
+	raw := clusterRacyTrace(1300).Encode()
+	run := func(t *testing.T, c *Client) (*JobStatus, []byte) {
+		t.Helper()
+		st, err := c.SubmitTrace(bytes.NewReader(raw), clusterTestOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = waitDone(t, c, st.ID)
+		if st.State != StateDone {
+			t.Fatalf("job finished %s: %s", st.State, st.Error)
+		}
+		rep, err := c.Report(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, rep
+	}
+	t.Run("SingleNodePopulatesCluster", func(t *testing.T) {
+		sA, cA := newTestServer(t, Config{})
+		st1, rep1 := run(t, cA)
+		if st1.CacheHit {
+			t.Fatal("first single-node run cannot be a cache hit")
+		}
+		sB, cB := newTestServer(t, Config{Peers: newWorkerPool(t, 1)})
+		sB.mgr.cache = sA.mgr.cache
+		st2, rep2 := run(t, cB)
+		if !st2.CacheHit {
+			t.Error("cluster run missed the single-node chunked entry")
+		}
+		if !bytes.Equal(rep1, rep2) {
+			t.Error("cluster-served report differs from the single-node one")
+		}
+	})
+	t.Run("ClusterPopulatesSingleNode", func(t *testing.T) {
+		sA, cA := newTestServer(t, Config{Peers: newWorkerPool(t, 1)})
+		st1, rep1 := run(t, cA)
+		if st1.CacheHit {
+			t.Fatal("first cluster run cannot be a cache hit")
+		}
+		sB, cB := newTestServer(t, Config{})
+		sB.mgr.cache = sA.mgr.cache
+		st2, rep2 := run(t, cB)
+		if !st2.CacheHit {
+			t.Error("single-node chunked run missed the cluster entry")
+		}
+		if !bytes.Equal(rep1, rep2) {
+			t.Error("single-node-served report differs from the cluster one")
+		}
+	})
+}
+
 // TestClusterShutdownDrains: SIGTERM-style shutdown with a cluster job in
 // flight must let the in-flight peer calls finish and the job complete with
 // the same bytes, not abort it.

@@ -37,7 +37,9 @@ import (
 	"dcatch/internal/bench"
 	"dcatch/internal/cluster"
 	"dcatch/internal/core"
+	"dcatch/internal/hb"
 	"dcatch/internal/obs"
+	"dcatch/internal/scancache"
 	"dcatch/internal/stream"
 	"dcatch/internal/subjects"
 	"dcatch/internal/trace"
@@ -88,6 +90,12 @@ type Config struct {
 	// ClusterChunk is the window size, in records, for coordinated trace
 	// jobs that do not set chunk_size themselves (default 50000).
 	ClusterChunk int
+	// ScanCache, when non-nil, memoizes per-window detection scans across
+	// jobs: the streaming/chunked local path, coordinator dispatch, and
+	// worker-mode scan handling all consult it, so a resubmitted trace
+	// with few changed records re-scans only its dirty windows. Reports
+	// are byte-identical with or without it.
+	ScanCache *scancache.Cache
 	// Obs receives service counters and progress logs; nil allocates an
 	// internal recorder (exposed via Recorder).
 	Obs *obs.Recorder
@@ -214,6 +222,11 @@ func (s *Server) registerGauges() {
 	s.reg.Gauge("stream.frontier_bytes", func() float64 {
 		return float64(s.streamFrontier.Load())
 	})
+	if sc := s.cfg.ScanCache; sc != nil {
+		s.reg.Gauge("scancache.bytes", func() float64 { return float64(sc.Bytes()) })
+		s.reg.Gauge("scancache.max_bytes", func() float64 { return float64(sc.MaxBytes()) })
+		s.reg.Gauge("scancache.disk_bytes", func() float64 { return float64(sc.DiskBytes()) })
+	}
 }
 
 // Handler returns the service's HTTP handler.
@@ -252,6 +265,7 @@ func (s *Server) routes() {
 			Drain:        &s.mgr.drain,
 			Obs:          s.rec,
 			Admit:        s.admitScan,
+			Cache:        s.cfg.ScanCache,
 		}))
 	}
 	dm := obs.DebugMux(s.reg)
@@ -410,8 +424,9 @@ func (s *Server) submitTrace(body io.Reader, r *http.Request) (*job, error) {
 				tel.rec.Count("stream.retractions", 1)
 			}
 		},
-		Obs:  tel.rec,
-		Logf: tel.rec.Logf,
+		Obs:   tel.rec,
+		Logf:  tel.rec.Logf,
+		Cache: s.cfg.ScanCache,
 	})
 
 	// The live frontier gauge tracks ingests in flight; whatever this upload
@@ -487,6 +502,12 @@ func (s *Server) submitTrace(body io.Reader, r *http.Request) (*job, error) {
 		return &jobResult{report: []byte(RenderTrace(res)), summary: res.Summary(), stats: &stats, oom: res.OOM}, nil
 	}
 	key := traceCacheKey(h.Sum(nil), jopt)
+	if opts.ChunkSize > 0 && hb.FullBuildExceedsBudget(tr, opts.HB) {
+		// This job will take the windowed path, whose report is
+		// byte-identical to a coordinated cluster run over the same bytes
+		// and options — share one whole-report cache entry across both.
+		key = chunkedTraceCacheKey(h.Sum(nil), jopt)
+	}
 	j, err := s.mgr.submit(KindTrace, tr.Program, key, jopt.MemBudget, tel, run)
 	if err != nil {
 		return nil, err
@@ -599,6 +620,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		snap["admission_headroom_bytes"] = headroom
 	} else {
 		snap["admission_headroom_bytes"] = int64(-1) // unlimited
+	}
+	if sc := s.cfg.ScanCache; sc != nil {
+		headroom := sc.MaxBytes() - sc.Bytes()
+		if headroom < 0 {
+			headroom = 0
+		}
+		snap["scancache_headroom_bytes"] = headroom
+		if sc.Persistent() {
+			dh := sc.DiskMaxBytes() - sc.DiskBytes()
+			if dh < 0 {
+				dh = 0
+			}
+			snap["scancache_disk_headroom_bytes"] = dh
+		}
 	}
 	if closing, _ := snap["closing"].(bool); closing {
 		snap["status"] = "draining"

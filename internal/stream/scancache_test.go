@@ -1,0 +1,163 @@
+package stream_test
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcatch/internal/bench"
+	"dcatch/internal/detect"
+	"dcatch/internal/hb"
+	"dcatch/internal/obs"
+	"dcatch/internal/scancache"
+	"dcatch/internal/stream"
+	"dcatch/internal/trace"
+)
+
+// runWindowed analyzes tr on the windowed path (non-eager chunked fallback
+// or eager windows) with an optional scan cache and returns the formatted
+// report.
+func runWindowed(t *testing.T, tr *trace.Trace, hcfg hb.Config, dopts detect.Options, chunk int, eager bool, sc *scancache.Cache) string {
+	t.Helper()
+	an := stream.New(stream.Options{HB: hcfg, Detect: dopts, ChunkSize: chunk, Eager: eager, Cache: sc})
+	an.AppendTrace(tr)
+	sr := an.Finish()
+	if sr.OOM {
+		t.Fatalf("analysis failed: %v", sr.Err)
+	}
+	if !sr.Chunked {
+		t.Fatal("analysis did not take the windowed path")
+	}
+	return sr.Report.Format(nil)
+}
+
+func openCache(t *testing.T, dir string, rec *obs.Recorder) *scancache.Cache {
+	t.Helper()
+	sc, err := scancache.New(scancache.Config{Dir: dir, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestCacheDifferentialByteIdentity: over every backend × scan mode ×
+// parallelism combination on the chunked path, a cache-populating run and a
+// warm rerun against the populated persistent directory must both be
+// byte-identical to the uncached oracle, and the warm rerun must not miss.
+func TestCacheDifferentialByteIdentity(t *testing.T) {
+	tr := bench.SyntheticTraceBounded(3000, 5)
+	const chunk = 500
+	for _, backend := range []hb.Backend{hb.BackendDense, hb.BackendChain} {
+		for _, scan := range []detect.ScanMode{detect.ScanAuto, detect.ScanEpoch, detect.ScanInterval, detect.ScanQuadratic} {
+			for _, par := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s-%s-par%d", backend, scan, par), func(t *testing.T) {
+					hcfg := hb.Config{ReachBackend: backend, Parallelism: par}
+					budget, err := bench.IncrMemBudget(tr, chunk, hcfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					hcfg.MemBudget = budget
+					dopts := detect.Options{Scan: scan}
+					want := runWindowed(t, tr, hcfg, dopts, chunk, false, nil)
+
+					dir := t.TempDir()
+					if got := runWindowed(t, tr, hcfg, dopts, chunk, false, openCache(t, dir, obs.New())); got != want {
+						t.Fatal("cache-populating run diverged from the uncached oracle")
+					}
+					rec := obs.New()
+					if got := runWindowed(t, tr, hcfg, dopts, chunk, false, openCache(t, dir, rec)); got != want {
+						t.Fatal("warm cached run diverged from the uncached oracle")
+					}
+					ctr := rec.Counters()
+					if ctr["scancache.misses"] != 0 || ctr["scancache.hits"] == 0 {
+						t.Errorf("warm rerun hits=%d misses=%d, want all hits", ctr["scancache.hits"], ctr["scancache.misses"])
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCacheEagerByteIdentity: the eager windowed mode with a cache must
+// reproduce the uncached eager report exactly, and a second analyzer over
+// the same persistent directory must serve every window from the cache.
+func TestCacheEagerByteIdentity(t *testing.T) {
+	tr := bench.SyntheticTraceBounded(3000, 6)
+	hcfg := hb.Config{ReachBackend: hb.BackendChain}
+	want := runWindowed(t, tr, hcfg, detect.Options{}, 500, true, nil)
+
+	dir := t.TempDir()
+	if got := runWindowed(t, tr, hcfg, detect.Options{}, 500, true, openCache(t, dir, obs.New())); got != want {
+		t.Fatal("eager cache-populating run diverged")
+	}
+	rec := obs.New()
+	if got := runWindowed(t, tr, hcfg, detect.Options{}, 500, true, openCache(t, dir, rec)); got != want {
+		t.Fatal("eager warm run diverged")
+	}
+	if ctr := rec.Counters(); ctr["scancache.misses"] != 0 || ctr["scancache.hits"] == 0 {
+		t.Errorf("eager warm rerun hits=%d misses=%d, want all hits", ctr["scancache.hits"], ctr["scancache.misses"])
+	}
+}
+
+// TestCacheCorruptionDifferential flips a payload byte in every persisted
+// cache file: the checksum must reject each entry (miss, file removed), the
+// rerun must rescan everything, and the report must stay byte-identical.
+func TestCacheCorruptionDifferential(t *testing.T) {
+	tr := bench.SyntheticTraceBounded(2000, 7)
+	const chunk = 500
+	hcfg := hb.Config{ReachBackend: hb.BackendChain}
+	budget, err := bench.IncrMemBudget(tr, chunk, hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcfg.MemBudget = budget
+	want := runWindowed(t, tr, hcfg, detect.Options{}, chunk, false, nil)
+
+	dir := t.TempDir()
+	if got := runWindowed(t, tr, hcfg, detect.Options{}, chunk, false, openCache(t, dir, obs.New())); got != want {
+		t.Fatal("cache-populating run diverged")
+	}
+	var corrupted int
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		data[len(data)-3] ^= 0xFF
+		corrupted++
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupted == 0 {
+		t.Fatal("no cache files to corrupt")
+	}
+
+	rec := obs.New()
+	if got := runWindowed(t, tr, hcfg, detect.Options{}, chunk, false, openCache(t, dir, rec)); got != want {
+		t.Fatal("rerun over a corrupted cache diverged from the oracle")
+	}
+	ctr := rec.Counters()
+	if ctr["scancache.hits"] != 0 {
+		t.Errorf("%d hits served from corrupted files", ctr["scancache.hits"])
+	}
+	if ctr["scancache.corrupt"] != int64(corrupted) {
+		t.Errorf("corrupt=%d, want %d (one per flipped file)", ctr["scancache.corrupt"], corrupted)
+	}
+
+	// The corrupted files were removed and rewritten by the rerun: a final
+	// run must be all hits again.
+	rec2 := obs.New()
+	if got := runWindowed(t, tr, hcfg, detect.Options{}, chunk, false, openCache(t, dir, rec2)); got != want {
+		t.Fatal("post-repair run diverged")
+	}
+	if ctr := rec2.Counters(); ctr["scancache.misses"] != 0 {
+		t.Errorf("post-repair run missed %d windows", ctr["scancache.misses"])
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"dcatch/internal/detect"
 	"dcatch/internal/hb"
 	"dcatch/internal/obs"
+	"dcatch/internal/scancache"
 	"dcatch/internal/trace"
 )
 
@@ -79,6 +80,15 @@ type Options struct {
 	// Logf, when non-nil, receives the same progress lines the batch path
 	// logs (e.g. the chunked-fallback notice).
 	Logf func(format string, args ...any)
+
+	// Cache, when non-nil, memoizes per-window scans in both the eager
+	// windowed mode and the non-eager chunked fallback: a window whose
+	// record bytes and wire-expressible options match a cached entry skips
+	// its graph build and scan entirely, folding the cached canonical DCWS
+	// bytes through the merger instead. Results stay byte-identical to an
+	// uncached run by construction. Options outside the wire-expressible
+	// subset disable the lookup (see scancache.SpecFor).
+	Cache *scancache.Cache
 
 	// Obs, when non-nil, receives the analyzer's own metrics:
 	// stream.frontier_peak_bytes (high-water counter; the live

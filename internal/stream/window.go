@@ -6,8 +6,62 @@ import (
 
 	"dcatch/internal/detect"
 	"dcatch/internal/hb"
+	"dcatch/internal/scancache"
 	"dcatch/internal/trace"
 )
+
+// winCached wraps the optional window-scan cache for both window engines
+// (eager and replay). probe/store are no-ops when no cache is configured or
+// when the options carry state outside the wire-expressible key subset.
+type winCached struct {
+	cache *scancache.Cache
+	spec  scancache.Spec
+	on    bool
+}
+
+func newWinCached(cache *scancache.Cache, hcfg hb.Config, dopts detect.Options) winCached {
+	if cache == nil {
+		return winCached{}
+	}
+	spec, ok := scancache.SpecFor(hcfg, dopts)
+	return winCached{cache: cache, spec: spec, on: ok}
+}
+
+// probe looks the window up by its record content. A hit returns a freshly
+// decoded scan — ChunkMerger.Merge rebases scans in place, so cached bytes
+// must be decoded per use, never shared between merges. A payload that
+// fails the decoder is discarded from the cache and reported as a miss.
+func (wc winCached) probe(sub *trace.Trace) (key scancache.Key, ws detect.WindowScan, ent scancache.Entry, hit bool) {
+	if !wc.on {
+		return key, ws, ent, false
+	}
+	key = wc.spec.KeyTrace(sub)
+	ent, ok := wc.cache.Get(key)
+	if !ok {
+		return key, ws, scancache.Entry{}, false
+	}
+	ws, err := detect.DecodeWindowScan(ent.Payload)
+	if err != nil {
+		wc.cache.Discard(key)
+		return key, detect.WindowScan{}, scancache.Entry{}, false
+	}
+	return key, ws, ent, true
+}
+
+// store persists a freshly scanned window. ws must not yet have passed
+// through Merge (which rebases its record indices in place) — callers
+// encode first, merge after.
+func (wc winCached) store(key scancache.Key, ws detect.WindowScan, g *hb.Graph, records int) {
+	if !wc.on {
+		return
+	}
+	wc.cache.Put(key, scancache.Entry{
+		Payload:  ws.Encode(),
+		Backend:  g.Backend().String(),
+		MemBytes: g.MemBytes(),
+		Records:  records,
+	})
+}
 
 // Eager windowed analysis: the streaming form of the chunked fallback
 // (hb.BuildChunked + detect.FindChunked). Windows close the moment they
@@ -37,6 +91,7 @@ type windowed struct {
 	buf     []trace.Rec
 
 	merger *detect.ChunkMerger
+	wc     winCached
 	closed [][2]int
 
 	peakGraph int64
@@ -57,6 +112,7 @@ func newWindowed(a *Analyzer) *windowed {
 		size:    a.opts.ChunkSize,
 		overlap: overlap,
 		merger:  detect.NewChunkMerger(a.opts.Detect),
+		wc:      newWinCached(a.opts.Cache, a.opts.HB, a.opts.Detect),
 	}
 }
 
@@ -88,27 +144,44 @@ func (w *windowed) flush() {
 // close analyzes the open window [w.start, end), releases records behind
 // next, and opens the next window there.
 func (w *windowed) close(end, next int) {
+	// The cache probe hashes a zero-copy view of the live buffer; the probe
+	// finishes before the copy-down below touches it, so nothing races. The
+	// record copy — needed because the buffer is released right after — is
+	// paid only when the window actually has to be built.
 	sub := &trace.Trace{
 		Program:        w.a.tr.Program,
-		Recs:           make([]trace.Rec, end-w.start),
+		Recs:           w.buf[w.start-w.bufBase : end-w.bufBase],
 		QueueConsumers: w.a.tr.QueueConsumers,
 	}
-	copy(sub.Recs, w.buf[w.start-w.bufBase:end-w.bufBase])
-	g, err := hb.Build(sub, w.a.opts.HB)
-	if err != nil {
-		w.err = fmt.Errorf("hb: chunk [%d,%d): %w", w.start, end, err)
-		w.buf = nil
-		return
+	var ws detect.WindowScan
+	var gm int64
+	var be string
+	key, cws, ent, hit := w.wc.probe(sub)
+	if hit {
+		// A cached entry under this key was produced by a build with the
+		// same MemBudget that succeeded; admission is deterministic, so
+		// skipping the build cannot hide an OOM this run would have hit.
+		ws, gm, be = cws, ent.MemBytes, ent.Backend
+	} else {
+		sub.Recs = append([]trace.Rec(nil), sub.Recs...)
+		g, err := hb.Build(sub, w.a.opts.HB)
+		if err != nil {
+			w.err = fmt.Errorf("hb: chunk [%d,%d): %w", w.start, end, err)
+			w.buf = nil
+			return
+		}
+		ws = w.merger.ScanWindow(g, false)
+		gm, be = g.MemBytes(), g.Backend().String()
+		w.wc.store(key, ws, g, len(sub.Recs))
 	}
 	if len(w.closed) == 0 {
-		w.backend = g.Backend().String()
+		w.backend = be
 	}
-	gm := g.MemBytes()
 	if gm > w.peakGraph {
 		w.peakGraph = gm
 	}
 	w.a.notePeak(gm)
-	added := w.merger.Add(g, w.start)
+	added := w.merger.Merge(ws, w.start)
 	w.closed = append(w.closed, [2]int{w.start, end})
 	w.a.emit(Event{Kind: EventWindow, Records: end,
 		WindowStart: w.start, WindowEnd: end, Added: added})
@@ -166,13 +239,17 @@ func (a *Analyzer) replayWindows() *Result {
 	bsp.Count("hb.chunk_windows", int64(len(windows)))
 
 	merger := detect.NewChunkMerger(a.opts.Detect)
-	build := func(wn [2]int, base hb.Config) (*hb.Graph, error) {
+	wc := newWinCached(a.opts.Cache, a.opts.HB, a.opts.Detect)
+	subFor := func(wn [2]int) *trace.Trace {
 		sub := &trace.Trace{
 			Program:        a.tr.Program,
 			Recs:           make([]trace.Rec, wn[1]-wn[0]),
 			QueueConsumers: a.tr.QueueConsumers,
 		}
 		copy(sub.Recs, a.tr.Recs[wn[0]:wn[1]])
+		return sub
+	}
+	build := func(wn [2]int, sub *trace.Trace, base hb.Config) (*hb.Graph, error) {
 		g, err := hb.Build(sub, base)
 		if err != nil {
 			return nil, fmt.Errorf("hb: chunk [%d,%d): %w", wn[0], wn[1], err)
@@ -193,18 +270,32 @@ func (a *Analyzer) replayWindows() *Result {
 	var backend string
 	if p <= 1 {
 		for _, wn := range windows {
-			g, err := build(wn, cfg)
-			if err != nil {
-				ferr = err
-				break
+			// Probe on a zero-copy window view (the accumulated trace is
+			// immutable during replay); copy the records only for windows
+			// that actually get built.
+			var ws detect.WindowScan
+			var mem int64
+			var be string
+			key, cws, ent, hit := wc.probe(a.tr.Window(wn[0], wn[1]))
+			if hit {
+				ws, mem, be = cws, ent.MemBytes, ent.Backend
+			} else {
+				g, err := build(wn, subFor(wn), cfg)
+				if err != nil {
+					ferr = err
+					break
+				}
+				ws = merger.ScanWindow(g, false)
+				mem, be = g.MemBytes(), g.Backend().String()
+				wc.store(key, ws, g, wn[1]-wn[0])
 			}
 			if backend == "" {
-				backend = g.Backend().String()
+				backend = be
 			}
-			if m := g.MemBytes(); m > peak {
-				peak = m
+			if mem > peak {
+				peak = mem
 			}
-			merger.Add(g, wn[0])
+			merger.Merge(ws, wn[0])
 		}
 	} else {
 		base := cfg
@@ -225,12 +316,18 @@ func (a *Analyzer) replayWindows() *Result {
 				sem <- struct{}{}
 				go func(i int, wn [2]int) {
 					defer func() { <-sem }()
-					g, err := build(wn, base)
+					key, cws, ent, hit := wc.probe(a.tr.Window(wn[0], wn[1]))
+					if hit {
+						scans[i] <- scanOut{ws: cws, mem: ent.MemBytes, be: ent.Backend}
+						return
+					}
+					g, err := build(wn, subFor(wn), base)
 					if err != nil {
 						scans[i] <- scanOut{err: err}
 						return
 					}
 					ws := merger.ScanWindow(g, true)
+					wc.store(key, ws, g, wn[1]-wn[0])
 					scans[i] <- scanOut{ws: ws, mem: g.MemBytes(), be: g.Backend().String()}
 				}(i, wn)
 			}

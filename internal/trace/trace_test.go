@@ -250,3 +250,58 @@ func TestEncodeJSON(t *testing.T) {
 		t.Fatalf("kind not symbolic: %q", decoded.Records[0].Kind)
 	}
 }
+
+// TestWindowChunkEdges pins Window's subslice semantics at chunk
+// boundaries: the paths that slice a trace into overlapping windows (batch
+// chunking, streaming replay, the cluster coordinator, scan-cache keying)
+// all assume a window is a zero-copy view that shares metadata, covers
+// exactly [start,end), and cannot clobber the parent through appends.
+func TestWindowChunkEdges(t *testing.T) {
+	c := NewCollector("w")
+	c.SetQueueInfo("n/q", 1)
+	for i := 0; i < 10; i++ {
+		c.Emit(Rec{Node: "n", Thread: 1, Ctx: 1, Kind: KMemWrite, Obj: "n/x", StaticID: int32(i)})
+	}
+	tr := c.Trace()
+
+	w := tr.Window(3, 7)
+	if len(w.Recs) != 4 || w.Recs[0].Seq != tr.Recs[3].Seq || w.Recs[3].Seq != tr.Recs[6].Seq {
+		t.Fatalf("Window(3,7) covers wrong records: %+v", w.Recs)
+	}
+	if w.Program != tr.Program || w.QueueConsumers["n/q"] != 1 {
+		t.Fatal("window does not share trace metadata")
+	}
+	if &w.Recs[0] != &tr.Recs[3] {
+		t.Fatal("window is not a zero-copy view")
+	}
+	// The three-index slice caps the window at end: appending to the view
+	// must reallocate, never overwrite the parent's record at end.
+	if cap(w.Recs) != 4 {
+		t.Fatalf("window cap %d leaks past end", cap(w.Recs))
+	}
+	w.Recs = append(w.Recs, Rec{StaticID: 99})
+	if tr.Recs[7].StaticID == 99 {
+		t.Fatal("append through a window clobbered the parent trace")
+	}
+
+	// Edge windows: empty at either end, full span, and single-record.
+	if got := tr.Window(0, 0); len(got.Recs) != 0 {
+		t.Fatalf("Window(0,0) has %d records", len(got.Recs))
+	}
+	if got := tr.Window(10, 10); len(got.Recs) != 0 {
+		t.Fatalf("Window(n,n) has %d records", len(got.Recs))
+	}
+	if got := tr.Window(0, 10); len(got.Recs) != 10 {
+		t.Fatalf("Window(0,n) has %d records", len(got.Recs))
+	}
+	if got := tr.Window(9, 10); len(got.Recs) != 1 || got.Recs[0].Seq != tr.Recs[9].Seq {
+		t.Fatalf("Window(n-1,n) wrong: %+v", got.Recs)
+	}
+
+	// Adjacent overlapping chunk windows (stride 3, size 4) must tile the
+	// trace so the overlap region appears in both views, byte for byte.
+	a, b := tr.Window(0, 4), tr.Window(3, 7)
+	if a.Recs[3].Seq != b.Recs[0].Seq {
+		t.Fatal("overlap record differs between adjacent windows")
+	}
+}
